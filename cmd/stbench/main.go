@@ -1,0 +1,97 @@
+// Command stbench regenerates the paper's evaluation figures (Section 8).
+//
+// Usage:
+//
+//	stbench -fig 17          # SPEC overhead on the SPARC model
+//	stbench -fig 21 -full    # uniprocessor comparison at paper-scale sizes
+//	stbench -fig 22 -bench fib,cilksort
+//	stbench -all             # everything, quick scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/figures"
+	"repro/internal/isa"
+)
+
+func main() {
+	var (
+		fig    = flag.Int("fig", 0, "figure to regenerate (17, 18, 19, 20, 21, 22)")
+		all    = flag.Bool("all", false, "regenerate every figure")
+		full   = flag.Bool("full", false, "paper-scale inputs (slow); default quick")
+		bench  = flag.String("bench", "", "comma-separated benchmark subset for -fig 21/22")
+		ablate = flag.Bool("ablate", false, "run the design-choice ablations instead of a figure")
+	)
+	flag.Parse()
+
+	sc := figures.Quick
+	if *full {
+		sc = figures.Full
+	}
+	var benches []string
+	if *bench != "" {
+		benches = strings.Split(*bench, ",")
+	}
+
+	run := func(f int) error {
+		switch f {
+		case 17, 18, 19, 20:
+			cpuName := map[int]string{17: "sparc", 18: "x86", 19: "mips", 20: "alpha"}[f]
+			_, err := figures.SpecOverheads(os.Stdout, isa.CostModelByName(cpuName))
+			return err
+		case 21:
+			_, err := figures.Uniprocessor(os.Stdout, sc)
+			return err
+		case 22:
+			figures.Table2(os.Stdout)
+			_, err := figures.Scaling(os.Stdout, sc, benches)
+			return err
+		}
+		return fmt.Errorf("unknown figure %d", f)
+	}
+
+	if *ablate {
+		if _, err := figures.AblateCriteria(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "stbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		if _, err := figures.AblateStealPolicy(os.Stdout, sc); err != nil {
+			fmt.Fprintln(os.Stderr, "stbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		if _, err := figures.SpaceBound(os.Stdout, sc); err != nil {
+			fmt.Fprintln(os.Stderr, "stbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		if _, err := figures.AblateSegmentedStacks(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "stbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var figs []int
+	switch {
+	case *all:
+		figs = []int{17, 18, 19, 20, 21, 22}
+	case *fig != 0:
+		figs = []int{*fig}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	for _, f := range figs {
+		if err := run(f); err != nil {
+			fmt.Fprintln(os.Stderr, "stbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,61 @@
+// Command stpost shows the postprocessor's work on a benchmark: the
+// descriptor table (Section 3.3) and, optionally, the full instruction
+// listing with augmented and pure epilogues.
+//
+// Usage:
+//
+//	stpost -app fib            # descriptor table
+//	stpost -app fib -dis       # plus disassembly
+//	stpost -app fib -seq       # the sequential elision instead
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/apps"
+	"repro/internal/figures"
+)
+
+func main() {
+	var (
+		app = flag.String("app", "fib", "benchmark name")
+		dis = flag.Bool("dis", false, "disassemble the linked program")
+		seq = flag.Bool("seq", false, "use the sequential elision")
+	)
+	flag.Parse()
+
+	variant := apps.ST
+	if *seq {
+		variant = apps.Seq
+	}
+	w, err := figures.Workload(*app, figures.Quick, variant)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stpost:", err)
+		os.Exit(2)
+	}
+	prog, err := w.Compile()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stpost:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s (%s): %d procedures, %d instructions, max args region %d words\n\n",
+		w.Name, w.Variant, len(prog.Descs), len(prog.Code), prog.MaxArgsOut)
+	fmt.Printf("%-14s %7s %7s %9s %7s %10s %6s %s\n",
+		"procedure", "entry", "end", "pure-epi", "frame", "args-region", "aug", "fork points")
+	for _, d := range prog.Descs {
+		fmt.Printf("%-14s %7d %7d %9d %7d %10d %6v %v\n",
+			d.Name, d.Entry, d.End, d.PureEpilogue, d.FrameSize, d.MaxSPStore, d.Augmented, d.ForkPoints)
+	}
+	if *dis {
+		fmt.Println()
+		for pc, in := range prog.Code {
+			if d := prog.DescFor(int64(pc)); d != nil && d.Entry == int64(pc) {
+				fmt.Printf("\n%s:\n", d.Name)
+			}
+			fmt.Printf("%6d  %v\n", pc, in)
+		}
+	}
+}

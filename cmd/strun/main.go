@@ -1,0 +1,90 @@
+// Command strun runs one benchmark in one execution mode and prints the
+// result and runtime statistics.
+//
+// Usage:
+//
+//	strun -app fib -mode st -workers 8
+//	strun -app cilksort -mode seq -full
+//	strun -app heat -mode cilk -workers 32 -cpu alpha
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/figures"
+	"repro/internal/isa"
+)
+
+func main() {
+	var (
+		app     = flag.String("app", "fib", "benchmark name (see -list)")
+		mode    = flag.String("mode", "st", "execution mode: seq, st, cilk")
+		workers = flag.Int("workers", 1, "worker (virtual CPU) count")
+		cpu     = flag.String("cpu", "sparc", "cost model: sparc, x86, mips, alpha")
+		full    = flag.Bool("full", false, "paper-scale input")
+		seed    = flag.Uint64("seed", 1, "scheduler seed")
+		check   = flag.Bool("check", false, "enable the stack-invariant checker")
+		list    = flag.Bool("list", false, "list benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range figures.BenchNames {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	sc := figures.Quick
+	if *full {
+		sc = figures.Full
+	}
+	variant := apps.ST
+	cfg := core.Config{
+		Workers:         *workers,
+		CPU:             isa.CostModelByName(*cpu),
+		Seed:            *seed,
+		CheckInvariants: *check,
+		Out:             os.Stdout,
+	}
+	switch *mode {
+	case "seq":
+		variant = apps.Seq
+		cfg.Mode = core.Sequential
+	case "st":
+		cfg.Mode = core.StackThreads
+	case "cilk":
+		cfg.Mode = core.Cilk
+	default:
+		fmt.Fprintf(os.Stderr, "strun: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	if cfg.CPU == nil {
+		fmt.Fprintf(os.Stderr, "strun: unknown cpu %q\n", *cpu)
+		os.Exit(2)
+	}
+
+	w, err := figures.Workload(*app, sc, variant)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "strun:", err)
+		os.Exit(2)
+	}
+	res, err := core.Run(w, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "strun:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("app=%s mode=%s workers=%d cpu=%s\n", *app, *mode, *workers, *cpu)
+	fmt.Printf("result        %d (verified)\n", res.RV)
+	fmt.Printf("elapsed       %d cycles\n", res.Time)
+	fmt.Printf("work          %d cycles over %d instructions\n", res.WorkCycles, res.Instrs)
+	fmt.Printf("steals        %d (attempts %d, rejects %d)\n", res.Steals, res.Attempts, res.Rejects)
+	for i, st := range res.Stats {
+		fmt.Printf("worker %-3d    instrs=%d calls=%d suspends=%d restarts=%d exports=%d shrinks=%d extends=%d stack-high=%d\n",
+			i, st.Instrs, st.Calls, st.Suspends, st.Restarts, st.Exports, st.Shrinks, st.Extends, st.StackHighWater)
+	}
+}

@@ -1,0 +1,74 @@
+// Command sttrace runs a benchmark under the parallel runtime and prints
+// its migration-level event timeline: steal requests, steals, rejects,
+// ready-queue resumes, idle transitions, and the halt — the observable
+// behaviour of the Section 4 protocol in virtual time.
+//
+// Usage:
+//
+//	sttrace -app fib -workers 4
+//	sttrace -app cilksort -workers 8 -mode cilk -summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/figures"
+	"repro/internal/sched"
+)
+
+func main() {
+	var (
+		app     = flag.String("app", "pingpong", "benchmark name")
+		mode    = flag.String("mode", "st", "st or cilk")
+		workers = flag.Int("workers", 4, "worker count")
+		seed    = flag.Uint64("seed", 1, "scheduler seed")
+		full    = flag.Bool("full", false, "paper-scale input")
+		summary = flag.Bool("summary", false, "print event counts only")
+	)
+	flag.Parse()
+
+	sc := figures.Quick
+	if *full {
+		sc = figures.Full
+	}
+	var w *apps.Workload
+	var err error
+	if *app == "pingpong" {
+		w = apps.PingPong(20, apps.ST)
+	} else {
+		w, err = figures.Workload(*app, sc, apps.ST)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sttrace:", err)
+			os.Exit(2)
+		}
+	}
+
+	cfg := core.Config{
+		Mode:    core.StackThreads,
+		Workers: *workers,
+		Seed:    *seed,
+		Events:  &sched.EventLog{},
+	}
+	if *mode == "cilk" {
+		cfg.Mode = core.Cilk
+	}
+	res, err := core.Run(w, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sttrace:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("app=%s mode=%s workers=%d: result %d in %d cycles, %d steals\n\n",
+		*app, *mode, *workers, res.RV, res.Time, res.Steals)
+	if *summary {
+		for k, n := range cfg.Events.Counts() {
+			fmt.Printf("%10s %d\n", k, n)
+		}
+		return
+	}
+	cfg.Events.Dump(os.Stdout)
+}

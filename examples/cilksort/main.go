@@ -1,0 +1,42 @@
+// Cilksort example: parallel mergesort of one million keys, comparing the
+// StackThreads/MP runtime with the Cilk baseline across worker counts and
+// verifying the output.
+//
+// Run with:
+//
+//	go run ./examples/cilksort [-n 100000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+)
+
+func main() {
+	n := flag.Int64("n", 100_000, "number of keys")
+	flag.Parse()
+
+	fmt.Printf("cilksort of %d keys (verified sorted after every run)\n", *n)
+	fmt.Printf("%8s %16s %16s %8s\n", "workers", "stackthreads", "cilk", "ratio")
+
+	for _, workers := range []int{1, 4, 16} {
+		st, err := core.Run(apps.Cilksort(*n, apps.ST, 7), core.Config{
+			Mode: core.StackThreads, Workers: workers, Seed: 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ck, err := core.Run(apps.Cilksort(*n, apps.ST, 7), core.Config{
+			Mode: core.Cilk, Workers: workers, Seed: 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8d %16d %16d %8.3f\n",
+			workers, st.Time, ck.Time, float64(st.Time)/float64(ck.Time))
+	}
+}

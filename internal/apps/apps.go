@@ -1,0 +1,109 @@
+// Package apps contains the benchmark programs of the paper's evaluation
+// (Section 8.2), written in the assembler DSL: the Cilk distribution
+// benchmarks ported to StackThreads (cilksort, notempmul, knapsack, fib,
+// heat, lu, fft, spacemul, blockedmul, magic) plus small kernels used by
+// tests. Every workload comes in two variants:
+//
+//   - Seq: the sequential elision — forks become plain calls and
+//     synchronization disappears. This is the "C" baseline of Figure 21.
+//   - ST: the StackThreads version — ASYNC_CALL forks, join counters, and
+//     poll points inserted per Feeley's method (at thread-creation
+//     boundaries).
+//
+// The Cilk baseline runs the ST code under the Cilk cost/scheduling mode of
+// the runtime (see DESIGN.md for the substitution argument).
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/postproc"
+	"repro/internal/stlib"
+)
+
+// Variant selects the compilation/runtime flavor of a workload.
+type Variant int
+
+// Workload variants.
+const (
+	// Seq is the sequential elision compiled without postprocessing.
+	Seq Variant = iota
+	// ST is the StackThreads version: postprocessed, forked, joined.
+	ST
+)
+
+func (v Variant) String() string {
+	switch v {
+	case Seq:
+		return "seq"
+	case ST:
+		return "st"
+	}
+	return fmt.Sprintf("variant(%d)", int(v))
+}
+
+// Workload is one runnable benchmark instance: compiled procedures, the
+// entry point, heap demand, input setup, and output verification.
+type Workload struct {
+	Name    string
+	Variant Variant
+	Procs   []*isa.Proc
+	// Units optionally partitions Procs into compilation units for the
+	// postprocessor's per-unit augmentation criteria (nil: one unit).
+	Units [][]*isa.Proc
+	// Entry is the procedure the harness starts (the boot shim for ST).
+	Entry string
+	// Args are the entry's arguments; Setup may extend or replace them.
+	Args []int64
+	// HeapWords is the shared-heap demand of Setup plus the program.
+	HeapWords int
+	// Setup populates simulated memory and returns the entry arguments. A
+	// nil Setup means Args is final.
+	Setup func(m *mem.Memory) ([]int64, error)
+	// Verify checks the run's output given the final memory and the
+	// program's return value. A nil Verify accepts anything.
+	Verify func(m *mem.Memory, rv int64) error
+}
+
+// Compile postprocesses and links the workload with settings appropriate to
+// its variant: the ST variant is always augmented, the sequential elision
+// never (it is plain compiler output, like the paper's C baselines).
+func (w *Workload) Compile() (*isa.Program, error) {
+	opt := postproc.Options{Augment: w.Variant == ST}
+	if w.Units != nil {
+		return postproc.CompileUnits(w.Units, opt)
+	}
+	return postproc.Compile(w.Procs, opt)
+}
+
+// MustCompile is Compile panicking on error (host programming bugs).
+func (w *Workload) MustCompile() *isa.Program {
+	p, err := w.Compile()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// stUnit creates a unit pre-populated with the join library and returns it.
+func stUnit() *asm.Unit {
+	u := asm.NewUnit()
+	stlib.AddJoinLib(u)
+	return u
+}
+
+// finishST makes a Workload for an ST-variant unit whose top procedure is
+// main(argc args): it adds the boot shim and builds.
+func finishST(u *asm.Unit, name, mainProc string, argc int, args []int64) *Workload {
+	stlib.AddBoot(u, mainProc, argc)
+	return &Workload{
+		Name:    name,
+		Variant: ST,
+		Procs:   u.MustBuild(),
+		Entry:   stlib.ProcBoot,
+		Args:    args,
+	}
+}

@@ -1,0 +1,97 @@
+package apps_test
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+)
+
+// build enumerates every benchmark at test-friendly sizes.
+func testWorkloads(v apps.Variant) []*apps.Workload {
+	return []*apps.Workload{
+		apps.Fib(14, v),
+		apps.PingPong(10, v),
+		apps.Cilksort(300, v, 11),
+		apps.Knapsack(16, 40, v, 5),
+		apps.Notempmul(10, v, 21),
+		apps.Blockedmul(10, v, 22),
+		apps.Spacemul(10, v, 23),
+		apps.Heat(10, 10, 4, v, 31),
+		apps.LU(10, v, 32),
+		apps.FFT(64, v, 33),
+		apps.Magic(v, 34),
+		apps.NQueens(6, v),
+		apps.TreeAdd(6, v),
+	}
+}
+
+// TestAllAppsSequential runs each Seq workload on the plain machine.
+func TestAllAppsSequential(t *testing.T) {
+	for _, w := range testWorkloads(apps.Seq) {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			_, err := core.Run(w, core.Config{Mode: core.Sequential, CheckInvariants: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestAllAppsST runs each ST workload across worker counts under the
+// StackThreads runtime with the invariant checker on.
+func TestAllAppsST(t *testing.T) {
+	for _, n := range []int{1, 3, 8} {
+		for _, w := range testWorkloads(apps.ST) {
+			w, n := w, n
+			t.Run(w.Name+"/workers="+string(rune('0'+n)), func(t *testing.T) {
+				_, err := core.Run(w, core.Config{
+					Mode: core.StackThreads, Workers: n,
+					CheckInvariants: true, Seed: uint64(n),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestAllAppsCilk runs each ST workload under the Cilk baseline.
+func TestAllAppsCilk(t *testing.T) {
+	for _, n := range []int{1, 4} {
+		for _, w := range testWorkloads(apps.ST) {
+			w, n := w, n
+			t.Run(w.Name+"/workers="+string(rune('0'+n)), func(t *testing.T) {
+				_, err := core.Run(w, core.Config{
+					Mode: core.Cilk, Workers: n,
+					CheckInvariants: true, Seed: uint64(n) + 7,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestAllAppsSegmentedStacks runs every ST workload under the Section 5.1
+// multi-stack scheme with invariants checked: results must be identical.
+func TestAllAppsSegmentedStacks(t *testing.T) {
+	ws := testWorkloads(apps.ST)
+	ws = append(ws, apps.Staircase(12, 16))
+	for _, w := range ws {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			_, err := core.Run(w, core.Config{
+				Mode: core.StackThreads, Workers: 4,
+				SegmentedStacks: true, CheckInvariants: true, Seed: 11,
+				StackWords: 1 << 14, // small segments force switching
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

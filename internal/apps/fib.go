@@ -1,0 +1,147 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/stlib"
+)
+
+// fibHost computes fib on the host for verification.
+func fibHost(n int64) int64 {
+	a, b := int64(0), int64(1)
+	for i := int64(0); i < n; i++ {
+		a, b = b, a+b
+	}
+	return a
+}
+
+// Fib builds the fib benchmark: the doubly recursive Fibonacci of the Cilk
+// distribution, the paper's stress test for extremely fine-grained threads
+// (every recursive call is a fork).
+func Fib(n int64, v Variant) *Workload {
+	var w *Workload
+	if v == Seq {
+		w = fibSeq(n)
+	} else {
+		w = fibST(n)
+	}
+	w.Verify = func(_ *mem.Memory, rv int64) error {
+		if want := fibHost(n); rv != want {
+			return fmt.Errorf("fib(%d) = %d, want %d", n, rv, want)
+		}
+		return nil
+	}
+	return w
+}
+
+func fibSeq(n int64) *Workload {
+	u := stUnit()
+
+	f := u.Proc("fib", 1, 0)
+	rec := f.NewLabel()
+	f.LoadArg(isa.R0, 0)
+	f.BgeI(isa.R0, 2, rec)
+	f.Ret(isa.R0)
+	f.Bind(rec)
+	f.AddI(isa.T0, isa.R0, -1)
+	f.SetArg(0, isa.T0)
+	f.Call("fib")
+	f.Mov(isa.R1, isa.RV)
+	f.AddI(isa.T0, isa.R0, -2)
+	f.SetArg(0, isa.T0)
+	f.Call("fib")
+	f.Add(isa.RV, isa.R1, isa.RV)
+	f.Ret(isa.RV)
+
+	return &Workload{
+		Name:    "fib",
+		Variant: Seq,
+		Procs:   u.MustBuild(),
+		Entry:   "fib",
+		Args:    []int64{n},
+	}
+}
+
+// fibST builds the forked version. Each activation takes (n, res, jc):
+// it writes fib(n) to *res and then declares completion on jc. Recursive
+// cases allocate a child join counter, two result cells and a park context
+// in their own frame — stack-allocated aggregates, the capability the
+// present paper adds over the authors' previous system. Counter operations
+// are expanded inline (the performance-tuned form, like the paper's ports).
+func fibST(n int64) *Workload {
+	u := stUnit()
+
+	// Locals: child jc, two result cells, park context.
+	const (
+		locJC   = 0
+		locResA = stlib.JCWords
+		locResB = stlib.JCWords + 1
+		locCtx  = stlib.JCWords + 2
+	)
+	f := u.Proc("fib", 3, stlib.JCWords+2+stlib.CtxWords)
+	rec := f.NewLabel()
+	f.LoadArg(isa.R0, 0) // n
+	f.LoadArg(isa.R1, 1) // res
+	f.LoadArg(isa.R2, 2) // jc
+	f.BgeI(isa.R0, 2, rec)
+	// base case: *res = n; finish(jc)
+	f.Store(isa.R1, 0, isa.R0)
+	stlib.JCFinishInline(f, isa.R2)
+	f.RetVoid()
+
+	f.Bind(rec)
+	f.LocalAddr(isa.R3, locJC)
+	stlib.JCInitInline(f, isa.R3, 2)
+	// fork fib(n-1, &resA, &jc2)
+	f.AddI(isa.T0, isa.R0, -1)
+	f.SetArg(0, isa.T0)
+	f.LocalAddr(isa.T1, locResA)
+	f.SetArg(1, isa.T1)
+	f.SetArg(2, isa.R3)
+	f.Fork("fib")
+	f.Poll()
+	// fork fib(n-2, &resB, &jc2)
+	f.AddI(isa.T0, isa.R0, -2)
+	f.SetArg(0, isa.T0)
+	f.LocalAddr(isa.T1, locResB)
+	f.SetArg(1, isa.T1)
+	f.SetArg(2, isa.R3)
+	f.Fork("fib")
+	f.Poll()
+	stlib.JCJoinInline(f, isa.R3, locCtx)
+	// *res = resA + resB; finish(jc)
+	f.LoadLocal(isa.T0, locResA)
+	f.LoadLocal(isa.T1, locResB)
+	f.Add(isa.T0, isa.T0, isa.T1)
+	f.Store(isa.R1, 0, isa.T0)
+	stlib.JCFinishInline(f, isa.R2)
+	f.RetVoid()
+
+	// main(n): arm a counter for the root call, call it synchronously, and
+	// return the result cell.
+	const (
+		mJC  = 0
+		mRes = stlib.JCWords
+	)
+	m := u.Proc("fib_main", 1, stlib.JCWords+1)
+	m.LocalAddr(isa.R0, mJC)
+	m.SetArg(0, isa.R0)
+	m.Const(isa.T0, 1)
+	m.SetArg(1, isa.T0)
+	m.Call(stlib.ProcJCInit)
+	m.LoadArg(isa.T0, 0)
+	m.SetArg(0, isa.T0)
+	m.LocalAddr(isa.R1, mRes)
+	m.SetArg(1, isa.R1)
+	m.SetArg(2, isa.R0)
+	m.Fork("fib")
+	m.Poll()
+	m.SetArg(0, isa.R0)
+	m.Call(stlib.ProcJCJoin)
+	m.LoadLocal(isa.RV, mRes)
+	m.Ret(isa.RV)
+
+	return finishST(u, "fib", "fib_main", 1, []int64{n})
+}

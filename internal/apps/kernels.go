@@ -1,0 +1,106 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/stlib"
+)
+
+// PingPong builds a small kernel that forces real suspension even on a
+// single worker: main forks a child that immediately waits on a counter
+// main has not finished yet. The child blocks (the fork returns with the
+// child unfinished — the essential ASYNC_CALL behaviour), main wakes it,
+// then blocks itself until the child completes. The dance repeats `rounds`
+// times, exercising suspend, resume-to-readyq, restart-from-scheduler and
+// the retained-frame stack management.
+func PingPong(rounds int64, v Variant) *Workload {
+	if v == Seq {
+		// The sequential elision of a blocking kernel is just a loop.
+		u := stUnit()
+		m := u.Proc("pp_main", 1, 0)
+		loop := m.NewLabel()
+		done := m.NewLabel()
+		m.LoadArg(isa.R0, 0)
+		m.Const(isa.R1, 0)
+		m.Bind(loop)
+		m.Bge(isa.R1, isa.R0, done)
+		m.AddI(isa.R1, isa.R1, 1)
+		m.Jmp(loop)
+		m.Bind(done)
+		m.Const(isa.RV, 42)
+		m.Ret(isa.RV)
+		w := &Workload{
+			Name:    "pingpong",
+			Variant: Seq,
+			Procs:   u.MustBuild(),
+			Entry:   "pp_main",
+			Args:    []int64{rounds},
+		}
+		w.Verify = verify42
+		return w
+	}
+
+	u := stUnit()
+
+	// child(jc1, jc2): join(jc2); finish(jc1)
+	c := u.Proc("pp_child", 2, 0)
+	c.LoadArg(isa.R0, 0)
+	c.LoadArg(isa.R1, 1)
+	c.SetArg(0, isa.R1)
+	c.Call(stlib.ProcJCJoin)
+	c.SetArg(0, isa.R0)
+	c.Call(stlib.ProcJCFinish)
+	c.RetVoid()
+
+	// main(rounds): repeat { arm jc1, jc2; fork child; finish(jc2);
+	// join(jc1) } rounds times; return 42.
+	const (
+		locJC1 = 0
+		locJC2 = stlib.JCWords
+	)
+	m := u.Proc("pp_main", 1, 2*stlib.JCWords)
+	loop := m.NewLabel()
+	done := m.NewLabel()
+	m.LoadArg(isa.R0, 0) // remaining rounds
+	m.Bind(loop)
+	m.BleI(isa.R0, 0, done)
+	m.AddI(isa.R0, isa.R0, -1)
+
+	m.LocalAddr(isa.R1, locJC1)
+	m.LocalAddr(isa.R2, locJC2)
+	m.SetArg(0, isa.R1)
+	m.Const(isa.T0, 1)
+	m.SetArg(1, isa.T0)
+	m.Call(stlib.ProcJCInit)
+	m.SetArg(0, isa.R2)
+	m.Const(isa.T0, 1)
+	m.SetArg(1, isa.T0)
+	m.Call(stlib.ProcJCInit)
+
+	m.SetArg(0, isa.R1)
+	m.SetArg(1, isa.R2)
+	m.Fork("pp_child")
+	m.Poll()
+	m.SetArg(0, isa.R2)
+	m.Call(stlib.ProcJCFinish)
+	m.SetArg(0, isa.R1)
+	m.Call(stlib.ProcJCJoin)
+	m.Jmp(loop)
+
+	m.Bind(done)
+	m.Const(isa.RV, 42)
+	m.Ret(isa.RV)
+
+	w := finishST(u, "pingpong", "pp_main", 1, []int64{rounds})
+	w.Verify = verify42
+	return w
+}
+
+func verify42(_ *mem.Memory, rv int64) error {
+	if rv != 42 {
+		return fmt.Errorf("rv = %d, want 42", rv)
+	}
+	return nil
+}

@@ -1,0 +1,307 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/stlib"
+)
+
+// Knapsack builds the knapsack benchmark: 0/1 branch and bound over n
+// items with a shared best-so-far bound (the Cilk distribution benchmark,
+// minus the abort primitive — the paper skipped Cilk's aborting programs
+// for the same reason).
+//
+// The environment block in the heap holds the item arrays, the bound cell
+// and its lock:
+//
+//	env[0] weights base   env[1] values base   env[2] rest-value base
+//	env[3] best cell      env[4] n             env[5] lock word
+func Knapsack(n int, capacity int64, v Variant, seed uint64) *Workload {
+	weights, values := knapItems(n, seed)
+	rest := make([]int64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		rest[i] = rest[i+1] + values[i]
+	}
+	want := knapBest(weights, values, capacity)
+
+	u := stUnit()
+	if v == Seq {
+		addKnapRec(u, "knap", false)
+	} else {
+		addKnapRec(u, "knap_s", true)
+		addKnapST(u)
+	}
+
+	var w *Workload
+	if v == Seq {
+		// main(env, cap): knap(env, 0, cap, 0); return best
+		m := u.Proc("knap_main", 2, 0)
+		m.LoadArg(isa.R0, 0)
+		m.SetArg(0, isa.R0)
+		m.Const(isa.T0, 0)
+		m.SetArg(1, isa.T0)
+		m.LoadArg(isa.T1, 1)
+		m.SetArg(2, isa.T1)
+		m.Const(isa.T0, 0)
+		m.SetArg(3, isa.T0)
+		m.Call("knap")
+		m.Load(isa.T0, isa.R0, 3) // best cell address
+		m.Load(isa.RV, isa.T0, 0)
+		m.Ret(isa.RV)
+		w = &Workload{Name: "knapsack", Variant: Seq, Procs: u.MustBuild(), Entry: "knap_main"}
+	} else {
+		m := u.Proc("knap_main", 2, stlib.JCWords)
+		m.LoadArg(isa.R0, 0)
+		m.LocalAddr(isa.R1, 0)
+		m.SetArg(0, isa.R1)
+		m.Const(isa.T0, 1)
+		m.SetArg(1, isa.T0)
+		m.Call(stlib.ProcJCInit)
+		m.SetArg(0, isa.R0)
+		m.Const(isa.T0, 0)
+		m.SetArg(1, isa.T0)
+		m.LoadArg(isa.T1, 1)
+		m.SetArg(2, isa.T1)
+		m.Const(isa.T0, 0)
+		m.SetArg(3, isa.T0)
+		m.SetArg(4, isa.R1)
+		m.Fork("knap")
+		m.Poll()
+		m.SetArg(0, isa.R1)
+		m.Call(stlib.ProcJCJoin)
+		m.Load(isa.T0, isa.R0, 3)
+		m.Load(isa.RV, isa.T0, 0)
+		m.Ret(isa.RV)
+		stlib.AddBoot(u, "knap_main", 2)
+		w = &Workload{Name: "knapsack", Variant: ST, Procs: u.MustBuild(), Entry: stlib.ProcBoot}
+	}
+
+	w.HeapWords = 4*(n+1) + 64
+	w.Setup = func(m *mem.Memory) ([]int64, error) {
+		wBase, err := m.Alloc(int64(n))
+		if err != nil {
+			return nil, err
+		}
+		vBase, _ := m.Alloc(int64(n))
+		rBase, _ := m.Alloc(int64(n + 1))
+		env, err := m.Alloc(8)
+		if err != nil {
+			return nil, err
+		}
+		m.WriteWords(wBase, weights)
+		m.WriteWords(vBase, values)
+		m.WriteWords(rBase, rest)
+		best, _ := m.Alloc(1)
+		lock, _ := m.Alloc(1)
+		m.WriteWords(env, []int64{wBase, vBase, rBase, best, int64(n), lock})
+		return []int64{env, capacity}, nil
+	}
+	w.Verify = func(_ *mem.Memory, rv int64) error {
+		if rv != want {
+			return fmt.Errorf("knapsack best = %d, want %d", rv, want)
+		}
+		return nil
+	}
+	return w
+}
+
+// KnapItemsForTest exposes the deterministic item generator so tests can
+// cross-check the simulated solver against independent host solvers.
+func KnapItemsForTest(n int, seed uint64) (weights, values []int64) {
+	return knapItems(n, seed)
+}
+
+func knapItems(n int, seed uint64) (weights, values []int64) {
+	x := seed*6364136223846793005 + 1442695040888963407
+	weights = make([]int64, n)
+	values = make([]int64, n)
+	for i := 0; i < n; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		weights[i] = int64(x%20) + 1
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		values[i] = int64(x%30) + 1
+	}
+	return weights, values
+}
+
+// knapBest computes the reference answer by the same branch and bound.
+func knapBest(weights, values []int64, capacity int64) int64 {
+	n := len(weights)
+	rest := make([]int64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		rest[i] = rest[i+1] + values[i]
+	}
+	best := int64(0)
+	var rec func(i int, cap, val int64)
+	rec = func(i int, cap, val int64) {
+		if val > best {
+			best = val
+		}
+		if i == n || val+rest[i] <= best {
+			return
+		}
+		if cap >= weights[i] {
+			rec(i+1, cap-weights[i], val+values[i])
+		}
+		rec(i+1, cap, val)
+	}
+	rec(0, capacity, 0)
+	return best
+}
+
+// knapBody emits the shared body of knap up to the branching step.
+// Registers: R0=env R1=i R2=cap R3=val R4=weights R5=n.
+// Emits: bound update (locked in ST), prune check, leaf check.
+func knapBody(b *asm.B, locked bool, prune asm.Lbl) {
+	b.LoadArg(isa.R0, 0)
+	b.LoadArg(isa.R1, 1)
+	b.LoadArg(isa.R2, 2)
+	b.LoadArg(isa.R3, 3)
+	b.Load(isa.R4, isa.R0, 0) // weights base
+	b.Load(isa.R5, isa.R0, 4) // n
+
+	// Update the shared bound: if (val > *best) *best = val. The parallel
+	// variants take the bound lock with an inline test-and-set.
+	skip := b.NewLabel()
+	if locked {
+		b.Load(isa.T4, isa.R0, 5)
+		stlib.LockAddrInline(b, isa.T4)
+	}
+	b.Load(isa.T1, isa.R0, 3) // best cell
+	b.Load(isa.T2, isa.T1, 0)
+	b.Ble(isa.R3, isa.T2, skip)
+	b.Store(isa.T1, 0, isa.R3)
+	b.Bind(skip)
+	if locked {
+		stlib.UnlockAddrInline(b, isa.T4)
+	}
+
+	// Prune: i == n, or val + rest[i] <= *best.
+	b.Bge(isa.R1, isa.R5, prune)
+	b.Load(isa.T0, isa.R0, 2) // rest base
+	b.Add(isa.T0, isa.T0, isa.R1)
+	b.Load(isa.T1, isa.T0, 0) // rest[i]
+	b.Add(isa.T1, isa.R3, isa.T1)
+	b.Load(isa.T2, isa.R0, 3)
+	b.Load(isa.T3, isa.T2, 0) // *best
+	b.Ble(isa.T1, isa.T3, prune)
+}
+
+// knapSeqCut is the depth below which the ST variant recurses sequentially.
+const knapSeqCut = 7
+
+// addKnapRec emits a self-recursive branch-and-bound procedure
+// name(env, i, cap, val). The parallel variant's sequential tail locks the
+// shared bound; the pure sequential program does not.
+func addKnapRec(u *asm.Unit, name string, locked bool) {
+	b := u.Proc(name, 4, 0)
+	prune := b.NewLabel()
+	noTake := b.NewLabel()
+	knapBody(b, locked, prune)
+
+	// Include item i when it fits.
+	b.Add(isa.T0, isa.R4, isa.R1)
+	b.Load(isa.R6, isa.T0, 0) // w[i]
+	b.Blt(isa.R2, isa.R6, noTake)
+	b.SetArg(0, isa.R0)
+	b.AddI(isa.T0, isa.R1, 1)
+	b.SetArg(1, isa.T0)
+	b.Sub(isa.T1, isa.R2, isa.R6)
+	b.SetArg(2, isa.T1)
+	b.Load(isa.T2, isa.R0, 1)
+	b.Add(isa.T2, isa.T2, isa.R1)
+	b.Load(isa.T2, isa.T2, 0) // v[i]
+	b.Add(isa.T2, isa.R3, isa.T2)
+	b.SetArg(3, isa.T2)
+	b.Call(name)
+
+	b.Bind(noTake)
+	b.SetArg(0, isa.R0)
+	b.AddI(isa.T0, isa.R1, 1)
+	b.SetArg(1, isa.T0)
+	b.SetArg(2, isa.R2)
+	b.SetArg(3, isa.R3)
+	b.Call(name)
+
+	b.Bind(prune)
+	b.RetVoid()
+}
+
+func addKnapST(u *asm.Unit) {
+	const locCtx = stlib.JCWords
+	b := u.Proc("knap", 5, stlib.JCWords+stlib.CtxWords)
+	prune := b.NewLabel()
+	noTake := b.NewLabel()
+	excl := b.NewLabel()
+
+	seqTail := b.NewLabel()
+
+	b.LoadArg(isa.R7, 4) // parent jc, needed on every exit path
+	knapBody(b, true, prune)
+
+	// Close to the leaves, recurse sequentially (standard grain control;
+	// the fork tree above stays fully parallel).
+	b.Load(isa.T0, isa.R0, 4) // n
+	b.Sub(isa.T0, isa.T0, isa.R1)
+	b.BleI(isa.T0, knapSeqCut, seqTail)
+
+	// Arm a child counter for both branches; when the item does not fit,
+	// the include branch is accounted as already finished.
+	b.LocalAddr(isa.R6, 0)
+	stlib.JCInitInline(b, isa.R6, 2)
+
+	b.Add(isa.T0, isa.R4, isa.R1)
+	b.Load(isa.T4, isa.T0, 0) // w[i]
+	b.Blt(isa.R2, isa.T4, noTake)
+	b.SetArg(0, isa.R0)
+	b.AddI(isa.T0, isa.R1, 1)
+	b.SetArg(1, isa.T0)
+	b.Sub(isa.T1, isa.R2, isa.T4)
+	b.SetArg(2, isa.T1)
+	b.Load(isa.T2, isa.R0, 1)
+	b.Add(isa.T2, isa.T2, isa.R1)
+	b.Load(isa.T2, isa.T2, 0)
+	b.Add(isa.T2, isa.R3, isa.T2)
+	b.SetArg(3, isa.T2)
+	b.SetArg(4, isa.R6)
+	b.Fork("knap")
+	b.Poll()
+	b.Jmp(excl)
+
+	b.Bind(noTake)
+	stlib.JCFinishInline(b, isa.R6)
+
+	b.Bind(excl)
+	b.SetArg(0, isa.R0)
+	b.AddI(isa.T0, isa.R1, 1)
+	b.SetArg(1, isa.T0)
+	b.SetArg(2, isa.R2)
+	b.SetArg(3, isa.R3)
+	b.SetArg(4, isa.R6)
+	b.Fork("knap")
+	b.Poll()
+
+	stlib.JCJoinInline(b, isa.R6, locCtx)
+	stlib.JCFinishInline(b, isa.R7)
+	b.RetVoid()
+
+	b.Bind(seqTail)
+	// The shared-bound update and prune already ran in knapBody; the
+	// sequential tail re-runs them per node, which is harmless.
+	b.SetArg(0, isa.R0)
+	b.SetArg(1, isa.R1)
+	b.SetArg(2, isa.R2)
+	b.SetArg(3, isa.R3)
+	b.Call("knap_s")
+
+	b.Bind(prune)
+	stlib.JCFinishInline(b, isa.R7)
+	b.RetVoid()
+}

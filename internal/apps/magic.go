@@ -1,0 +1,282 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/stlib"
+)
+
+// Magic builds the magic benchmark: an exhaustive backtracking count of the
+// 3×3 magic squares over digits 1..9 (there are exactly 8). Every node of
+// the search tree copies its parent's partial grid into a stack-allocated
+// aggregate and forks one child per remaining digit — precisely the
+// address-exposed, frame-resident data the paper's stack management was
+// designed to retain in place.
+//
+// Environment: env[0] counter cell, env[1] lock word.
+func Magic(v Variant, seed uint64) *Workload {
+	_ = seed
+	u := stUnit()
+	if v == Seq {
+		addMagicNode(u, false)
+	} else {
+		addMagicNode(u, true)
+	}
+
+	var w *Workload
+	if v == Seq {
+		m := u.Proc("magic_main", 1, 9)
+		dLoop := m.NewLabel()
+		done := m.NewLabel()
+		m.LoadArg(isa.R0, 0)
+		// zero the root grid
+		m.LocalAddr(isa.R1, 0)
+		m.SetArg(0, isa.R1)
+		m.Const(isa.T0, 0)
+		m.SetArg(1, isa.T0)
+		m.Const(isa.T0, 9)
+		m.SetArg(2, isa.T0)
+		m.Call("memset")
+		m.Const(isa.R2, 1) // d
+		m.Bind(dLoop)
+		m.BgtI(isa.R2, 9, done)
+		m.SetArg(0, isa.R0)
+		m.SetArg(1, isa.R1)
+		m.Const(isa.T0, 0)
+		m.SetArg(2, isa.T0) // pos
+		m.Const(isa.T0, 1)
+		m.Shl(isa.T1, isa.T0, isa.R2)
+		m.SetArg(3, isa.T1) // used
+		m.SetArg(4, isa.R2) // d
+		m.Call("magic_node")
+		m.AddI(isa.R2, isa.R2, 1)
+		m.Jmp(dLoop)
+		m.Bind(done)
+		m.Load(isa.T0, isa.R0, 0)
+		m.Load(isa.RV, isa.T0, 0)
+		m.Ret(isa.RV)
+		w = &Workload{Name: "magic", Variant: Seq, Procs: u.MustBuild(), Entry: "magic_main"}
+	} else {
+		m := u.Proc("magic_main", 1, 9+stlib.JCWords)
+		dLoop := m.NewLabel()
+		done := m.NewLabel()
+		m.LoadArg(isa.R0, 0)
+		m.LocalAddr(isa.R1, 0) // grid
+		m.LocalAddr(isa.R3, 9) // jc
+		m.SetArg(0, isa.R1)
+		m.Const(isa.T0, 0)
+		m.SetArg(1, isa.T0)
+		m.Const(isa.T0, 9)
+		m.SetArg(2, isa.T0)
+		m.Call("memset")
+		m.SetArg(0, isa.R3)
+		m.Const(isa.T0, 9)
+		m.SetArg(1, isa.T0)
+		m.Call(stlib.ProcJCInit)
+		m.Const(isa.R2, 1)
+		m.Bind(dLoop)
+		m.BgtI(isa.R2, 9, done)
+		m.SetArg(0, isa.R0)
+		m.SetArg(1, isa.R1)
+		m.Const(isa.T0, 0)
+		m.SetArg(2, isa.T0)
+		m.Const(isa.T0, 1)
+		m.Shl(isa.T1, isa.T0, isa.R2)
+		m.SetArg(3, isa.T1)
+		m.SetArg(4, isa.R2)
+		m.SetArg(5, isa.R3)
+		m.Fork("magic_node")
+		m.Poll()
+		m.AddI(isa.R2, isa.R2, 1)
+		m.Jmp(dLoop)
+		m.Bind(done)
+		m.SetArg(0, isa.R3)
+		m.Call(stlib.ProcJCJoin)
+		m.Load(isa.T0, isa.R0, 0)
+		m.Load(isa.RV, isa.T0, 0)
+		m.Ret(isa.RV)
+		stlib.AddBoot(u, "magic_main", 1)
+		w = &Workload{Name: "magic", Variant: ST, Procs: u.MustBuild(), Entry: stlib.ProcBoot}
+	}
+	if v == ST {
+		w.Entry = stlib.ProcBoot
+	}
+
+	w.HeapWords = 1 << 10
+	w.Setup = func(m *mem.Memory) ([]int64, error) {
+		cnt, err := m.Alloc(1)
+		if err != nil {
+			return nil, err
+		}
+		lock, _ := m.Alloc(1)
+		env, err := m.Alloc(2)
+		if err != nil {
+			return nil, err
+		}
+		m.WriteWords(env, []int64{cnt, lock})
+		return []int64{env}, nil
+	}
+	w.Verify = func(_ *mem.Memory, rv int64) error {
+		if rv != 8 {
+			return fmt.Errorf("magic square count = %d, want 8", rv)
+		}
+		return nil
+	}
+	return w
+}
+
+// addMagicNode emits magic_node(env, parentGrid, pos, used, d[, jc]):
+// copy the parent's grid into a frame-local aggregate, place digit d at
+// pos, prune on completed row sums, count completed squares, and expand
+// children for every unused digit.
+func addMagicNode(u *asm.Unit, st bool) {
+	nArgs := 5
+	locals := 9
+	if st {
+		nArgs = 6
+		locals = 9 + stlib.JCWords
+	}
+	b := u.Proc("magic_node", nArgs, locals)
+	prune := b.NewLabel()
+	rowOK := b.NewLabel()
+	leaf := b.NewLabel()
+	expand := b.NewLabel()
+	notMagic := b.NewLabel()
+
+	b.LoadArg(isa.R0, 0) // env
+	b.LoadArg(isa.R2, 2) // pos
+	b.LoadArg(isa.R3, 3) // used
+	if st {
+		b.LoadArg(isa.R7, 5) // parent jc
+	}
+	// mygrid = copy(parentGrid); mygrid[pos] = d
+	b.LocalAddr(isa.R1, 0)
+	b.SetArg(0, isa.R1)
+	b.LoadArg(isa.T0, 1)
+	b.SetArg(1, isa.T0)
+	b.Const(isa.T0, 9)
+	b.SetArg(2, isa.T0)
+	b.Call("memcpy")
+	b.Add(isa.T0, isa.R1, isa.R2)
+	b.LoadArg(isa.T1, 4)
+	b.Store(isa.T0, 0, isa.T1)
+
+	// Completed a row? (pos ≡ 2 mod 3) → its sum must be 15.
+	b.Const(isa.T0, 3)
+	b.Mod(isa.T1, isa.R2, isa.T0)
+	b.BneI(isa.T1, 2, rowOK)
+	b.Add(isa.T0, isa.R1, isa.R2)
+	b.Load(isa.T1, isa.T0, 0)
+	b.Load(isa.T2, isa.T0, -1)
+	b.Add(isa.T1, isa.T1, isa.T2)
+	b.Load(isa.T2, isa.T0, -2)
+	b.Add(isa.T1, isa.T1, isa.T2)
+	b.BneI(isa.T1, 15, prune)
+	b.Bind(rowOK)
+
+	b.BeqI(isa.R2, 8, leaf)
+	b.Jmp(expand)
+
+	// Leaf: verify columns and diagonals, then count.
+	b.Bind(leaf)
+	magicSum3 := func(i, j, k int64) {
+		b.Load(isa.T1, isa.R1, i)
+		b.Load(isa.T2, isa.R1, j)
+		b.Add(isa.T1, isa.T1, isa.T2)
+		b.Load(isa.T2, isa.R1, k)
+		b.Add(isa.T1, isa.T1, isa.T2)
+		b.BneI(isa.T1, 15, notMagic)
+	}
+	magicSum3(0, 3, 6)
+	magicSum3(1, 4, 7)
+	magicSum3(2, 5, 8)
+	magicSum3(0, 4, 8)
+	magicSum3(2, 4, 6)
+	// *counter += 1 (locked in the ST variant)
+	if st {
+		b.Load(isa.T0, isa.R0, 1)
+		b.SetArg(0, isa.T0)
+		b.Call("lock")
+	}
+	b.Load(isa.T0, isa.R0, 0)
+	b.Load(isa.T1, isa.T0, 0)
+	b.AddI(isa.T1, isa.T1, 1)
+	b.Store(isa.T0, 0, isa.T1)
+	if st {
+		b.Load(isa.T0, isa.R0, 1)
+		b.SetArg(0, isa.T0)
+		b.Call("unlock")
+	}
+	b.Bind(notMagic)
+	b.Jmp(prune)
+
+	// Expand: one child per unused digit.
+	b.Bind(expand)
+	if st {
+		// Count the free digits to arm the child counter.
+		cnt := b.NewLabel()
+		cntDone := b.NewLabel()
+		b.Const(isa.R4, 1) // d'
+		b.Const(isa.R5, 0) // free count
+		b.Bind(cnt)
+		b.BgtI(isa.R4, 9, cntDone)
+		b.Const(isa.T0, 1)
+		b.Shl(isa.T1, isa.T0, isa.R4)
+		b.And(isa.T2, isa.R3, isa.T1)
+		skip := b.NewLabel()
+		b.BneI(isa.T2, 0, skip)
+		b.AddI(isa.R5, isa.R5, 1)
+		b.Bind(skip)
+		b.AddI(isa.R4, isa.R4, 1)
+		b.Jmp(cnt)
+		b.Bind(cntDone)
+		b.LocalAddr(isa.R6, 9)
+		b.SetArg(0, isa.R6)
+		b.SetArg(1, isa.R5)
+		b.Call(stlib.ProcJCInit)
+	}
+	loop := b.NewLabel()
+	loopDone := b.NewLabel()
+	b.Const(isa.R4, 1)
+	b.Bind(loop)
+	b.BgtI(isa.R4, 9, loopDone)
+	b.Const(isa.T0, 1)
+	b.Shl(isa.T1, isa.T0, isa.R4)
+	b.And(isa.T2, isa.R3, isa.T1)
+	next := b.NewLabel()
+	b.BneI(isa.T2, 0, next)
+	b.SetArg(0, isa.R0)
+	b.SetArg(1, isa.R1)
+	b.AddI(isa.T3, isa.R2, 1)
+	b.SetArg(2, isa.T3)
+	b.Const(isa.T0, 1)
+	b.Shl(isa.T1, isa.T0, isa.R4)
+	b.Or(isa.T1, isa.R3, isa.T1)
+	b.SetArg(3, isa.T1)
+	b.SetArg(4, isa.R4)
+	if st {
+		b.SetArg(5, isa.R6)
+		b.Fork("magic_node")
+		b.Poll()
+	} else {
+		b.Call("magic_node")
+	}
+	b.Bind(next)
+	b.AddI(isa.R4, isa.R4, 1)
+	b.Jmp(loop)
+	b.Bind(loopDone)
+	if st {
+		b.SetArg(0, isa.R6)
+		b.Call(stlib.ProcJCJoin)
+	}
+
+	b.Bind(prune)
+	if st {
+		b.SetArg(0, isa.R7)
+		b.Call(stlib.ProcJCFinish)
+	}
+	b.RetVoid()
+}

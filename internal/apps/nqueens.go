@@ -1,0 +1,277 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/stlib"
+)
+
+// NQueens builds the n-queens benchmark: count the placements of n queens
+// on an n×n board using the bitmask backtracking search, forking one thread
+// per candidate column.
+//
+// The Cilk distribution's queens uses the abort primitive to stop at the
+// first solution, which is why the paper skipped it; the counting variant
+// needs no abort and is the natural extension benchmark (the paper lists
+// abort support as unimplemented future work).
+//
+// Environment: env[0] counter cell, env[1] lock word, env[2] n.
+func NQueens(n int64, v Variant) *Workload {
+	if n < 1 || n > 16 {
+		panic("nqueens: n out of range")
+	}
+	want := nqueensHost(int(n))
+
+	u := stUnit()
+	if v == Seq {
+		addNQSeq(u)
+	} else {
+		addNQST(u)
+	}
+
+	var w *Workload
+	if v == Seq {
+		m := u.Proc("nq_main", 1, 0)
+		m.LoadArg(isa.R0, 0)
+		m.SetArg(0, isa.R0)
+		m.Const(isa.T0, 0)
+		m.SetArg(1, isa.T0)
+		m.SetArg(2, isa.T0)
+		m.SetArg(3, isa.T0)
+		m.SetArg(4, isa.T0)
+		m.Call("nq")
+		m.Ret(isa.RV)
+		w = &Workload{Name: "nqueens", Variant: Seq, Procs: u.MustBuild(), Entry: "nq_main"}
+	} else {
+		const locJC = 0
+		m := u.Proc("nq_main", 1, stlib.JCWords)
+		m.LoadArg(isa.R0, 0)
+		m.LocalAddr(isa.R1, locJC)
+		stlib.JCInitInline(m, isa.R1, 1)
+		m.SetArg(0, isa.R0)
+		m.Const(isa.T0, 0)
+		m.SetArg(1, isa.T0)
+		m.SetArg(2, isa.T0)
+		m.SetArg(3, isa.T0)
+		m.SetArg(4, isa.T0)
+		m.SetArg(5, isa.R1)
+		m.Fork("nq")
+		m.Poll()
+		m.SetArg(0, isa.R1)
+		m.Call(stlib.ProcJCJoin)
+		m.Load(isa.T0, isa.R0, 0)
+		m.Load(isa.RV, isa.T0, 0)
+		m.Ret(isa.RV)
+		stlib.AddBoot(u, "nq_main", 1)
+		w = &Workload{Name: "nqueens", Variant: ST, Procs: u.MustBuild(), Entry: stlib.ProcBoot}
+	}
+
+	w.HeapWords = 1 << 10
+	w.Setup = func(m *mem.Memory) ([]int64, error) {
+		cnt, err := m.Alloc(1)
+		if err != nil {
+			return nil, err
+		}
+		lock, _ := m.Alloc(1)
+		env, err := m.Alloc(3)
+		if err != nil {
+			return nil, err
+		}
+		m.WriteWords(env, []int64{cnt, lock, n})
+		return []int64{env}, nil
+	}
+	w.Verify = func(m *mem.Memory, rv int64) error {
+		if rv != want {
+			return fmt.Errorf("nqueens(%d) = %d, want %d", n, rv, want)
+		}
+		return nil
+	}
+	return w
+}
+
+func nqueensHost(n int) int64 {
+	full := (1 << n) - 1
+	var rec func(cols, d1, d2 int) int64
+	rec = func(cols, d1, d2 int) int64 {
+		if cols == full {
+			return 1
+		}
+		var cnt int64
+		avail := ^(cols | d1 | d2) & full
+		for avail != 0 {
+			c := avail & -avail
+			avail &= avail - 1
+			cnt += rec(cols|c, ((d1|c)<<1)&full, (d2|c)>>1)
+		}
+		return cnt
+	}
+	return rec(0, 0, 0)
+}
+
+// addNQSeq emits nq(env, row, cols, d1, d2) returning the solution count
+// below this node in RV.
+func addNQSeq(u *asm.Unit) {
+	b := u.Proc("nq", 5, 0)
+	loop := b.NewLabel()
+	done := b.NewLabel()
+	leaf := b.NewLabel()
+
+	b.LoadArg(isa.R0, 0)
+	b.LoadArg(isa.R1, 1) // row
+	b.LoadArg(isa.R2, 2) // cols
+	b.LoadArg(isa.R3, 3) // d1
+	b.LoadArg(isa.R4, 4) // d2
+	b.Load(isa.T0, isa.R0, 2)
+	b.Beq(isa.R1, isa.T0, leaf)
+
+	// avail = ~(cols|d1|d2) & full; full = (1<<n) - 1
+	b.Or(isa.T1, isa.R2, isa.R3)
+	b.Or(isa.T1, isa.T1, isa.R4)
+	b.Const(isa.T2, -1)
+	b.Xor(isa.T1, isa.T1, isa.T2)
+	b.Const(isa.T3, 1)
+	b.Shl(isa.T3, isa.T3, isa.T0)
+	b.AddI(isa.T3, isa.T3, -1) // full mask in T3
+	b.And(isa.R5, isa.T1, isa.T3)
+	b.Mov(isa.R7, isa.T3) // keep the mask across calls
+	b.Const(isa.R6, 0)    // count
+
+	b.Bind(loop)
+	b.BeqI(isa.R5, 0, done)
+	// c = avail & -avail; avail &= avail-1
+	b.Const(isa.T0, 0)
+	b.Sub(isa.T0, isa.T0, isa.R5)
+	b.And(isa.T1, isa.R5, isa.T0) // c
+	b.AddI(isa.T2, isa.R5, -1)
+	b.And(isa.R5, isa.R5, isa.T2)
+	// recurse
+	b.SetArg(0, isa.R0)
+	b.AddI(isa.T0, isa.R1, 1)
+	b.SetArg(1, isa.T0)
+	b.Or(isa.T0, isa.R2, isa.T1)
+	b.SetArg(2, isa.T0)
+	b.Or(isa.T0, isa.R3, isa.T1)
+	b.Const(isa.T2, 1)
+	b.Shl(isa.T0, isa.T0, isa.T2)
+	b.And(isa.T0, isa.T0, isa.R7)
+	b.SetArg(3, isa.T0)
+	b.Or(isa.T0, isa.R4, isa.T1)
+	b.Const(isa.T2, 1)
+	b.Shr(isa.T0, isa.T0, isa.T2)
+	b.SetArg(4, isa.T0)
+	b.Call("nq")
+	b.Add(isa.R6, isa.R6, isa.RV)
+	b.Jmp(loop)
+
+	b.Bind(done)
+	b.Ret(isa.R6)
+
+	b.Bind(leaf)
+	b.Const(isa.RV, 1)
+	b.Ret(isa.RV)
+}
+
+// addNQST emits nq(env, row, cols, d1, d2, jc): leaves bump the shared
+// counter; interior nodes fork one child per candidate and join.
+func addNQST(u *asm.Unit) {
+	const (
+		locJC  = 0
+		locCtx = stlib.JCWords
+	)
+	b := u.Proc("nq", 6, stlib.JCWords+stlib.CtxWords)
+	countLoop := b.NewLabel()
+	countDone := b.NewLabel()
+	forkLoop := b.NewLabel()
+	forkDone := b.NewLabel()
+	leaf := b.NewLabel()
+	out := b.NewLabel()
+
+	b.LoadArg(isa.R0, 0)
+	b.LoadArg(isa.R1, 1)
+	b.LoadArg(isa.R2, 2)
+	b.LoadArg(isa.R3, 3)
+	b.LoadArg(isa.R4, 4)
+	b.LoadArg(isa.R7, 5)
+	b.Load(isa.T0, isa.R0, 2)
+	b.Beq(isa.R1, isa.T0, leaf)
+
+	b.Or(isa.T1, isa.R2, isa.R3)
+	b.Or(isa.T1, isa.T1, isa.R4)
+	b.Const(isa.T2, -1)
+	b.Xor(isa.T1, isa.T1, isa.T2)
+	b.Const(isa.T3, 1)
+	b.Shl(isa.T3, isa.T3, isa.T0)
+	b.AddI(isa.T3, isa.T3, -1)
+	b.And(isa.R5, isa.T1, isa.T3)
+	// The original cols stays readable at its incoming-argument slot
+	// (FP+2); R2 is reused for the full mask below.
+	b.Mov(isa.R2, isa.T3) // full mask
+	b.Mov(isa.T4, isa.R5)
+	b.Const(isa.R6, 0) // child count
+
+	b.Bind(countLoop)
+	b.BeqI(isa.T4, 0, countDone)
+	b.AddI(isa.T5, isa.T4, -1)
+	b.And(isa.T4, isa.T4, isa.T5)
+	b.AddI(isa.R6, isa.R6, 1)
+	b.Jmp(countLoop)
+	b.Bind(countDone)
+	b.BeqI(isa.R6, 0, out)
+
+	b.Mov(isa.T7, isa.R6) // stash: JCInitInline needs a register count
+	b.LocalAddr(isa.R6, locJC)
+	b.Store(isa.R6, 0, isa.T7) // count
+	b.Const(isa.T6, 0)
+	b.Store(isa.R6, 1, isa.T6)
+	b.Store(isa.R6, 2, isa.T6)
+	b.Store(isa.R6, 3, isa.T6)
+
+	b.Bind(forkLoop)
+	b.BeqI(isa.R5, 0, forkDone)
+	b.Const(isa.T0, 0)
+	b.Sub(isa.T0, isa.T0, isa.R5)
+	b.And(isa.T1, isa.R5, isa.T0) // c
+	b.AddI(isa.T2, isa.R5, -1)
+	b.And(isa.R5, isa.R5, isa.T2)
+	b.SetArg(0, isa.R0)
+	b.AddI(isa.T0, isa.R1, 1)
+	b.SetArg(1, isa.T0)
+	b.LoadArg(isa.T5, 2) // original cols
+	b.Or(isa.T0, isa.T5, isa.T1)
+	b.SetArg(2, isa.T0)
+	b.Or(isa.T0, isa.R3, isa.T1)
+	b.Const(isa.T2, 1)
+	b.Shl(isa.T0, isa.T0, isa.T2)
+	b.And(isa.T0, isa.T0, isa.R2)
+	b.SetArg(3, isa.T0)
+	b.Or(isa.T0, isa.R4, isa.T1)
+	b.Const(isa.T2, 1)
+	b.Shr(isa.T0, isa.T0, isa.T2)
+	b.SetArg(4, isa.T0)
+	b.SetArg(5, isa.R6)
+	b.Fork("nq")
+	b.Poll()
+	b.Jmp(forkLoop)
+	b.Bind(forkDone)
+
+	stlib.JCJoinInline(b, isa.R6, locCtx)
+	b.Jmp(out)
+
+	b.Bind(leaf)
+	b.Load(isa.T0, isa.R0, 1)
+	stlib.LockAddrInline(b, isa.T0)
+	b.Load(isa.T1, isa.R0, 0)
+	b.Load(isa.T2, isa.T1, 0)
+	b.AddI(isa.T2, isa.T2, 1)
+	b.Store(isa.T1, 0, isa.T2)
+	stlib.UnlockAddrInline(b, isa.T0)
+	b.Jmp(out)
+
+	b.Bind(out)
+	stlib.JCFinishInline(b, isa.R7)
+	b.RetVoid()
+}

@@ -1,0 +1,140 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/stlib"
+)
+
+// Staircase builds the stack-fragmentation stress of Section 5.1: in each
+// of K generations the main thread forks one long-lived blocked thread
+// ("pinned"), runs a transient recursion of depth D underneath it, and only
+// then releases the *previous* generation's pinned thread. Under the
+// default single-stack management every generation's frames must be
+// allocated below the still-live pinned frame of the previous one, so the
+// stack deepens by ~D frames per generation even though live data stays
+// constant — exactly the "space utilization may be arbitrarily low" worst
+// case the paper accepts and for which it sketches the multi-stack
+// alternative. With machine.Options.SegmentedStacks the worker switches to
+// a fresh segment at each pinned bottom and reclaims dead segments, keeping
+// the per-segment high water near D.
+//
+// Only an ST variant exists: the kernel is *about* suspension.
+func Staircase(generations, depth int64) *Workload {
+	u := stUnit()
+
+	// pinned(gate, done): park on the gate; when released, finish done.
+	p := u.Proc("pinned", 2, stlib.CtxWords)
+	p.LoadArg(isa.R0, 0)
+	p.LoadArg(isa.R1, 1)
+	stlib.JCJoinInline(p, isa.R0, 0)
+	stlib.JCFinishInline(p, isa.R1)
+	p.RetVoid()
+
+	// deep(d): transient recursion with a couple of locals per frame.
+	d := u.Proc("deep", 1, 2)
+	base := d.NewLabel()
+	d.LoadArg(isa.R0, 0)
+	d.StoreLocal(0, isa.R0)
+	d.BleI(isa.R0, 0, base)
+	d.AddI(isa.T0, isa.R0, -1)
+	d.SetArg(0, isa.T0)
+	d.Call("deep")
+	d.LoadLocal(isa.T0, 0)
+	d.Add(isa.RV, isa.RV, isa.T0)
+	d.Ret(isa.RV)
+	d.Bind(base)
+	d.Const(isa.RV, 0)
+	d.Ret(isa.RV)
+
+	// main(env, K, D): gates and done counters alternate between two slots
+	// each, because generation i is released during generation i+1.
+	const (
+		locGate0 = 0
+		locGate1 = stlib.JCWords
+		locDone0 = 2 * stlib.JCWords
+		locDone1 = 3 * stlib.JCWords
+		locCtx   = 4 * stlib.JCWords
+	)
+	m := u.Proc("stair_main", 3, 4*stlib.JCWords+stlib.CtxWords)
+	loop := m.NewLabel()
+	first := m.NewLabel()
+	done := m.NewLabel()
+	m.LoadArg(isa.R1, 1) // K
+	m.LoadArg(isa.R2, 2) // D
+	m.Const(isa.R3, 0)   // i
+
+	m.Bind(loop)
+	m.Bge(isa.R3, isa.R1, done)
+	// g = &gate[i%2], pd = &done[i%2]
+	m.Const(isa.T0, 1)
+	m.And(isa.T1, isa.R3, isa.T0)
+	m.LocalAddr(isa.R4, locGate0)
+	m.MulI(isa.T2, isa.T1, stlib.JCWords)
+	m.Add(isa.R4, isa.R4, isa.T2) // gate_i
+	m.LocalAddr(isa.R5, locDone0)
+	m.Add(isa.R5, isa.R5, isa.T2) // done_i
+	stlib.JCInitInline(m, isa.R4, 1)
+	stlib.JCInitInline(m, isa.R5, 1)
+	// fork pinned(gate_i, done_i) — parks immediately, pinning its frame.
+	m.SetArg(0, isa.R4)
+	m.SetArg(1, isa.R5)
+	m.Fork("pinned")
+	m.Poll()
+	// transient recursion below the pinned frame
+	m.SetArg(0, isa.R2)
+	m.Call("deep")
+	// release the previous generation and wait for it to finish
+	m.BeqI(isa.R3, 0, first)
+	m.Const(isa.T0, 1)
+	m.And(isa.T1, isa.R3, isa.T0)
+	m.Const(isa.T2, 1)
+	m.Xor(isa.T1, isa.T1, isa.T2) // (i-1)%2
+	m.LocalAddr(isa.R6, locGate0)
+	m.MulI(isa.T2, isa.T1, stlib.JCWords)
+	m.Add(isa.R6, isa.R6, isa.T2)
+	m.LocalAddr(isa.R7, locDone0)
+	m.Add(isa.R7, isa.R7, isa.T2)
+	stlib.JCFinishInline(m, isa.R6) // open gate_{i-1}
+	stlib.JCJoinInline(m, isa.R7, locCtx)
+	m.Bind(first)
+	m.AddI(isa.R3, isa.R3, 1)
+	m.Jmp(loop)
+
+	m.Bind(done)
+	// release the last generation
+	m.Const(isa.T0, 1)
+	m.AddI(isa.T1, isa.R1, -1)
+	m.And(isa.T1, isa.T1, isa.T0)
+	m.LocalAddr(isa.R6, locGate0)
+	m.MulI(isa.T2, isa.T1, stlib.JCWords)
+	m.Add(isa.R6, isa.R6, isa.T2)
+	m.LocalAddr(isa.R7, locDone0)
+	m.Add(isa.R7, isa.R7, isa.T2)
+	stlib.JCFinishInline(m, isa.R6)
+	stlib.JCJoinInline(m, isa.R7, locCtx)
+	m.Const(isa.RV, 7)
+	m.Ret(isa.RV)
+
+	stlib.AddBoot(u, "stair_main", 3)
+	w := &Workload{
+		Name:    "staircase",
+		Variant: ST,
+		Procs:   u.MustBuild(),
+		Entry:   stlib.ProcBoot,
+		Args:    []int64{0, generations, depth},
+	}
+	w.HeapWords = 1 << 10
+	w.Setup = func(m *mem.Memory) ([]int64, error) {
+		return []int64{0, generations, depth}, nil
+	}
+	w.Verify = func(_ *mem.Memory, rv int64) error {
+		if rv != 7 {
+			return fmt.Errorf("staircase = %d, want 7", rv)
+		}
+		return nil
+	}
+	return w
+}

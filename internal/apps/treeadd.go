@@ -1,0 +1,224 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/stlib"
+)
+
+// TreeAdd builds the treeadd benchmark in the style of the Olden suite the
+// paper cites among related fine-grain systems: construct a complete binary
+// tree of heap nodes in parallel, then sum it in parallel. Unlike the
+// array-based benchmarks this one chases pointers, and the build phase
+// forks writers of *heap* cells while the parent frame holds the join
+// counter.
+//
+// Node layout: node[0] left, node[1] right, node[2] value (=1).
+// Environment: env[0] scratch result cell for the root.
+func TreeAdd(depth int64, v Variant) *Workload {
+	want := int64(1)<<(depth+1) - 1 // nodes in a complete tree, value 1 each
+
+	u := stUnit()
+	if v == Seq {
+		addTreeSeq(u)
+	} else {
+		addTreeST(u)
+	}
+
+	var w *Workload
+	if v == Seq {
+		m := u.Proc("tree_main", 2, 0)
+		m.LoadArg(isa.T0, 1)
+		m.SetArg(0, isa.T0)
+		m.Call("tbuild")
+		m.Mov(isa.R0, isa.RV)
+		m.SetArg(0, isa.R0)
+		m.Call("tsum")
+		m.Ret(isa.RV)
+		w = &Workload{Name: "treeadd", Variant: Seq, Procs: u.MustBuild(), Entry: "tree_main"}
+	} else {
+		const (
+			locJC  = 0
+			locRes = stlib.JCWords
+			locCtx = stlib.JCWords + 1
+		)
+		m := u.Proc("tree_main", 2, stlib.JCWords+1+stlib.CtxWords)
+		m.LoadArg(isa.R1, 1) // depth
+		m.LocalAddr(isa.R2, locJC)
+		m.LocalAddr(isa.R3, locRes)
+
+		stlib.JCInitInline(m, isa.R2, 1)
+		m.SetArg(0, isa.R1)
+		m.SetArg(1, isa.R3)
+		m.SetArg(2, isa.R2)
+		m.Fork("tbuild")
+		m.Poll()
+		stlib.JCJoinInline(m, isa.R2, locCtx)
+
+		stlib.JCInitInline(m, isa.R2, 1)
+		m.LoadLocal(isa.T0, locRes)
+		m.SetArg(0, isa.T0)
+		m.SetArg(1, isa.R3)
+		m.SetArg(2, isa.R2)
+		m.Fork("tsum")
+		m.Poll()
+		stlib.JCJoinInline(m, isa.R2, locCtx)
+
+		m.LoadLocal(isa.RV, locRes)
+		m.Ret(isa.RV)
+		stlib.AddBoot(u, "tree_main", 2)
+		w = &Workload{Name: "treeadd", Variant: ST, Procs: u.MustBuild(), Entry: stlib.ProcBoot}
+	}
+
+	w.HeapWords = int(3*(want+2)) + 1<<12
+	w.Args = []int64{0, depth}
+	w.Verify = func(_ *mem.Memory, rv int64) error {
+		if rv != want {
+			return fmt.Errorf("treeadd(%d) = %d, want %d", depth, rv, want)
+		}
+		return nil
+	}
+	return w
+}
+
+// addTreeSeq emits tbuild(d) -> node and tsum(node) -> total.
+func addTreeSeq(u *asm.Unit) {
+	b := u.Proc("tbuild", 1, 0)
+	leafCase := b.NewLabel()
+	b.LoadArg(isa.R0, 0)
+	b.Const(isa.T0, 3)
+	b.SetArg(0, isa.T0)
+	b.Call("alloc")
+	b.Mov(isa.R1, isa.RV)
+	b.Const(isa.T0, 1)
+	b.Store(isa.R1, 2, isa.T0)
+	b.BleI(isa.R0, 0, leafCase)
+	b.AddI(isa.T0, isa.R0, -1)
+	b.SetArg(0, isa.T0)
+	b.Call("tbuild")
+	b.Store(isa.R1, 0, isa.RV)
+	b.AddI(isa.T0, isa.R0, -1)
+	b.SetArg(0, isa.T0)
+	b.Call("tbuild")
+	b.Store(isa.R1, 1, isa.RV)
+	b.Ret(isa.R1)
+	b.Bind(leafCase)
+	b.Const(isa.T0, 0)
+	b.Store(isa.R1, 0, isa.T0)
+	b.Store(isa.R1, 1, isa.T0)
+	b.Ret(isa.R1)
+
+	s := u.Proc("tsum", 1, 0)
+	zero := s.NewLabel()
+	s.LoadArg(isa.R0, 0)
+	s.BeqI(isa.R0, 0, zero)
+	s.Load(isa.R1, isa.R0, 2) // value
+	s.Load(isa.T0, isa.R0, 0)
+	s.SetArg(0, isa.T0)
+	s.Call("tsum")
+	s.Add(isa.R1, isa.R1, isa.RV)
+	s.Load(isa.T0, isa.R0, 1)
+	s.SetArg(0, isa.T0)
+	s.Call("tsum")
+	s.Add(isa.RV, isa.R1, isa.RV)
+	s.Ret(isa.RV)
+	s.Bind(zero)
+	s.Const(isa.RV, 0)
+	s.Ret(isa.RV)
+}
+
+// addTreeST emits tbuild(d, res, jc) and tsum(node, res, jc), both forked
+// two ways with a frame-local join counter.
+func addTreeST(u *asm.Unit) {
+	const (
+		locJC   = 0
+		locResA = stlib.JCWords
+		locResB = stlib.JCWords + 1
+		locCtx  = stlib.JCWords + 2
+	)
+
+	b := u.Proc("tbuild", 3, stlib.JCWords+2+stlib.CtxWords)
+	leafCase := b.NewLabel()
+	b.LoadArg(isa.R0, 0) // d
+	b.LoadArg(isa.R1, 1) // res
+	b.LoadArg(isa.R2, 2) // jc
+	b.Const(isa.T0, 3)
+	b.SetArg(0, isa.T0)
+	b.Call("alloc")
+	b.Mov(isa.R3, isa.RV) // node
+	b.Const(isa.T0, 1)
+	b.Store(isa.R3, 2, isa.T0)
+	b.BleI(isa.R0, 0, leafCase)
+	b.LocalAddr(isa.R4, locJC)
+	stlib.JCInitInline(b, isa.R4, 2)
+	b.AddI(isa.T0, isa.R0, -1)
+	b.SetArg(0, isa.T0)
+	b.LocalAddr(isa.T1, locResA)
+	b.SetArg(1, isa.T1)
+	b.SetArg(2, isa.R4)
+	b.Fork("tbuild")
+	b.Poll()
+	b.AddI(isa.T0, isa.R0, -1)
+	b.SetArg(0, isa.T0)
+	b.LocalAddr(isa.T1, locResB)
+	b.SetArg(1, isa.T1)
+	b.SetArg(2, isa.R4)
+	b.Fork("tbuild")
+	b.Poll()
+	stlib.JCJoinInline(b, isa.R4, locCtx)
+	b.LoadLocal(isa.T0, locResA)
+	b.Store(isa.R3, 0, isa.T0)
+	b.LoadLocal(isa.T0, locResB)
+	b.Store(isa.R3, 1, isa.T0)
+	b.Store(isa.R1, 0, isa.R3)
+	stlib.JCFinishInline(b, isa.R2)
+	b.RetVoid()
+	b.Bind(leafCase)
+	b.Const(isa.T0, 0)
+	b.Store(isa.R3, 0, isa.T0)
+	b.Store(isa.R3, 1, isa.T0)
+	b.Store(isa.R1, 0, isa.R3)
+	stlib.JCFinishInline(b, isa.R2)
+	b.RetVoid()
+
+	s := u.Proc("tsum", 3, stlib.JCWords+2+stlib.CtxWords)
+	zero := s.NewLabel()
+	s.LoadArg(isa.R0, 0) // node
+	s.LoadArg(isa.R1, 1) // res
+	s.LoadArg(isa.R2, 2) // jc
+	s.BeqI(isa.R0, 0, zero)
+	s.LocalAddr(isa.R4, locJC)
+	stlib.JCInitInline(s, isa.R4, 2)
+	s.Load(isa.T0, isa.R0, 0)
+	s.SetArg(0, isa.T0)
+	s.LocalAddr(isa.T1, locResA)
+	s.SetArg(1, isa.T1)
+	s.SetArg(2, isa.R4)
+	s.Fork("tsum")
+	s.Poll()
+	s.Load(isa.T0, isa.R0, 1)
+	s.SetArg(0, isa.T0)
+	s.LocalAddr(isa.T1, locResB)
+	s.SetArg(1, isa.T1)
+	s.SetArg(2, isa.R4)
+	s.Fork("tsum")
+	s.Poll()
+	stlib.JCJoinInline(s, isa.R4, locCtx)
+	s.Load(isa.T0, isa.R0, 2)
+	s.LoadLocal(isa.T1, locResA)
+	s.Add(isa.T0, isa.T0, isa.T1)
+	s.LoadLocal(isa.T1, locResB)
+	s.Add(isa.T0, isa.T0, isa.T1)
+	s.Store(isa.R1, 0, isa.T0)
+	stlib.JCFinishInline(s, isa.R2)
+	s.RetVoid()
+	s.Bind(zero)
+	s.Const(isa.T0, 0)
+	s.Store(isa.R1, 0, isa.T0)
+	stlib.JCFinishInline(s, isa.R2)
+	s.RetVoid()
+}

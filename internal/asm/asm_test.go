@@ -1,0 +1,230 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func buildOne(t *testing.T, f func(*B)) *isa.Proc {
+	t.Helper()
+	u := NewUnit()
+	b := u.Proc("p", 2, 3)
+	f(b)
+	b.RetVoid()
+	procs, err := u.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return procs[0]
+}
+
+func TestPrologueShape(t *testing.T) {
+	p := buildOne(t, func(b *B) {
+		b.Const(isa.R0, 1)
+		b.Const(isa.R2, 2)
+	})
+	c := p.Code
+	if !(c[0].Op == isa.Store && c[0].Ra == isa.SP && c[0].Imm == -1 && c[0].Rb == isa.LR) {
+		t.Fatalf("prologue[0] = %v", c[0])
+	}
+	if !(c[1].Op == isa.Store && c[1].Imm == -2 && c[1].Rb == isa.FP) {
+		t.Fatalf("prologue[1] = %v", c[1])
+	}
+	if !(c[2].Op == isa.Mov && c[2].Rd == isa.FP && c[2].Ra == isa.SP) {
+		t.Fatalf("prologue[2] = %v", c[2])
+	}
+	if !(c[3].Op == isa.AddI && c[3].Rd == isa.SP && c[3].Imm == -int64(p.FrameSize)) {
+		t.Fatalf("prologue[3] = %v", c[3])
+	}
+	// Saves for R0 and R2, in register order, at descending slots.
+	if !(c[4].Op == isa.Store && c[4].Rb == isa.R0 && c[4].Imm == -3) {
+		t.Fatalf("save[0] = %v", c[4])
+	}
+	if !(c[5].Op == isa.Store && c[5].Rb == isa.R2 && c[5].Imm == -4) {
+		t.Fatalf("save[1] = %v", c[5])
+	}
+}
+
+func TestSavedRegsComputation(t *testing.T) {
+	p := buildOne(t, func(b *B) {
+		b.Const(isa.T0, 1)            // caller-save: not saved
+		b.Mov(isa.R5, isa.T0)         // written: saved
+		b.Add(isa.T1, isa.R1, isa.T0) // R1 only read: not saved
+		b.Store(isa.SP, 0, isa.R7)    // R7 only read
+	})
+	if len(p.SavedRegs) != 1 || p.SavedRegs[0] != isa.R5 {
+		t.Fatalf("SavedRegs = %v, want [r5]", p.SavedRegs)
+	}
+}
+
+func TestFrameSizeAndLocalLayout(t *testing.T) {
+	p := buildOne(t, func(b *B) {
+		b.Const(isa.R0, 1) // one save
+		b.SetArg(3, isa.R0)
+		b.Call("q")
+		b.StoreLocal(0, isa.R0)
+		b.StoreLocal(2, isa.R0)
+		b.LocalAddr(isa.T0, 1)
+	})
+	// frame = ret + fp + 1 save + 3 locals + 4 args
+	if p.FrameSize != 2+1+3+4 {
+		t.Fatalf("FrameSize = %d", p.FrameSize)
+	}
+	if p.MaxArgsOut != 4 {
+		t.Fatalf("MaxArgsOut = %d", p.MaxArgsOut)
+	}
+	// Locals ascend: local 0 at fp-(2+1+3)+0 = fp-6, local 2 at fp-4.
+	var offs []int64
+	for _, in := range p.Code {
+		if in.Op == isa.Store && in.Ra == isa.FP && in.Imm < -2 {
+			offs = append(offs, in.Imm)
+		}
+	}
+	// First FP-relative deep store is the save (-3), then locals.
+	if len(offs) != 3 || offs[0] != -3 || offs[1] != -6 || offs[2] != -4 {
+		t.Fatalf("FP-relative stores = %v, want [-3 -6 -4]", offs)
+	}
+	for _, in := range p.Code {
+		if in.Op == isa.AddI && in.Rd == isa.T0 && in.Ra == isa.FP {
+			if in.Imm != -5 {
+				t.Fatalf("LocalAddr(1) offset = %d, want -5", in.Imm)
+			}
+		}
+	}
+}
+
+func TestForkEmitsBrackets(t *testing.T) {
+	p := buildOne(t, func(b *B) {
+		b.Fork("child")
+	})
+	var syms []string
+	for _, in := range p.Code {
+		if in.Op == isa.Call {
+			syms = append(syms, in.Sym)
+		}
+	}
+	want := []string{isa.ForkBlockBegin, "child", isa.ForkBlockEnd}
+	if len(syms) != 3 || syms[0] != want[0] || syms[1] != want[1] || syms[2] != want[2] {
+		t.Fatalf("call sequence = %v", syms)
+	}
+	if p.Leaf {
+		t.Fatal("proc with calls marked leaf")
+	}
+}
+
+func TestLeafDetection(t *testing.T) {
+	p := buildOne(t, func(b *B) { b.Const(isa.T0, 1) })
+	if !p.Leaf {
+		t.Fatal("call-free proc not marked leaf")
+	}
+}
+
+func TestLabelResolution(t *testing.T) {
+	p := buildOne(t, func(b *B) {
+		l := b.NewLabel()
+		b.Const(isa.T0, 0)
+		b.Bind(l)
+		b.AddI(isa.T0, isa.T0, 1)
+		b.BltI(isa.T0, 5, l)
+	})
+	// Find the backward branch and check it targets the AddI.
+	var addiPC, branchTarget int64 = -1, -2
+	for pc, in := range p.Code {
+		if in.Op == isa.AddI && in.Rd == isa.T0 && in.Ra == isa.T0 {
+			addiPC = int64(pc)
+		}
+		if in.Op == isa.Blt {
+			branchTarget = in.Imm
+		}
+	}
+	if addiPC != branchTarget {
+		t.Fatalf("branch targets %d, AddI at %d", branchTarget, addiPC)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	t.Run("unbound label", func(t *testing.T) {
+		u := NewUnit()
+		b := u.Proc("p", 0, 0)
+		l := b.NewLabel()
+		b.Jmp(l)
+		if _, err := u.Build(); err == nil || !strings.Contains(err.Error(), "unbound") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("double bind", func(t *testing.T) {
+		u := NewUnit()
+		b := u.Proc("p", 0, 0)
+		l := b.NewLabel()
+		b.Bind(l)
+		b.Bind(l)
+		b.RetVoid()
+		if _, err := u.Build(); err == nil || !strings.Contains(err.Error(), "twice") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("duplicate proc", func(t *testing.T) {
+		u := NewUnit()
+		u.Proc("p", 0, 0).RetVoid()
+		u.Proc("p", 0, 0).RetVoid()
+		if _, err := u.Build(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("local out of range", func(t *testing.T) {
+		u := NewUnit()
+		b := u.Proc("p", 0, 1)
+		b.LoadLocal(isa.T0, 1)
+		b.RetVoid()
+		if _, err := u.Build(); err == nil || !strings.Contains(err.Error(), "out of range") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("arg out of range", func(t *testing.T) {
+		u := NewUnit()
+		b := u.Proc("p", 1, 0)
+		b.LoadArg(isa.T0, 1)
+		b.RetVoid()
+		if _, err := u.Build(); err == nil {
+			t.Fatal("no error for bad arg index")
+		}
+	})
+	t.Run("emit after seal", func(t *testing.T) {
+		u := NewUnit()
+		b := u.Proc("p", 0, 0)
+		b.RetVoid()
+		if err := b.Seal(); err != nil {
+			t.Fatal(err)
+		}
+		b.Const(isa.T0, 1)
+		if _, err := u.Build(); err == nil || !strings.Contains(err.Error(), "after Seal") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+}
+
+func TestEpilogueShape(t *testing.T) {
+	p := buildOne(t, func(b *B) {
+		b.Const(isa.R0, 1)
+		b.Ret(isa.R0)
+	})
+	n := len(p.Code)
+	tail := p.Code[n-4:]
+	if !(tail[0].Op == isa.Load && tail[0].Rd == isa.LR && tail[0].Imm == -1) {
+		t.Fatalf("epilogue tail[0] = %v", tail[0])
+	}
+	if !(tail[1].Op == isa.Mov && tail[1].Rd == isa.SP && tail[1].Ra == isa.FP) {
+		t.Fatalf("epilogue tail[1] = %v", tail[1])
+	}
+	if !(tail[2].Op == isa.Load && tail[2].Rd == isa.FP && tail[2].Ra == isa.SP && tail[2].Imm == -2) {
+		t.Fatalf("epilogue tail[2] = %v", tail[2])
+	}
+	if !(tail[3].Op == isa.JmpReg && tail[3].Ra == isa.LR) {
+		t.Fatalf("epilogue tail[3] = %v", tail[3])
+	}
+	if p.EpilogueEntry != n-5 { // one restore for R0 before the tail
+		t.Fatalf("EpilogueEntry = %d, want %d", p.EpilogueEntry, n-5)
+	}
+}

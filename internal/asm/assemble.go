@@ -1,0 +1,178 @@
+package asm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+func floatBits(v float64) uint64 { return math.Float64bits(v) }
+
+// Seal finalizes the body: it computes the saved-register set and frame
+// size, lowers local-slot pseudo instructions, resolves labels, and emits
+// the prologue and the single epilogue. After Seal the builder rejects
+// further emits. Unit.Build seals any procedure not yet sealed.
+func (b *B) Seal() error {
+	if b.sealed {
+		// Report anything emitted since sealing (a host programming bug).
+		return errors.Join(b.errs...)
+	}
+	b.sealed = true
+
+	// The epilogue is the implicit target of every Ret.
+	if b.labelPos[b.retLbl] == -1 {
+		b.labelPos[b.retLbl] = len(b.body)
+	}
+
+	saved := b.savedRegs()
+	maxArgsOut := b.maxArgsOut()
+	s := len(saved)
+	frameSize := 2 + s + b.numLocals + maxArgsOut
+
+	// localOff(i) is the FP-relative offset of local slot i. Locals occupy
+	// the block just below the return-address, parent-FP and callee-save
+	// slots, at ascending addresses — so a multi-word local starting at
+	// slot i (a context, a join counter, an array) is contiguous upward
+	// like any C stack aggregate.
+	localOff := func(i int64) int64 { return -(2 + int64(s) + int64(b.numLocals)) + i }
+
+	prologue := make([]isa.Instr, 0, 4+s)
+	prologue = append(prologue,
+		isa.Instr{Op: isa.Store, Ra: isa.SP, Imm: -1, Rb: isa.LR},
+		isa.Instr{Op: isa.Store, Ra: isa.SP, Imm: -2, Rb: isa.FP},
+		isa.Instr{Op: isa.Mov, Rd: isa.FP, Ra: isa.SP},
+		isa.Instr{Op: isa.AddI, Rd: isa.SP, Ra: isa.FP, Imm: -int64(frameSize)},
+	)
+	for k, r := range saved {
+		prologue = append(prologue, isa.Instr{Op: isa.Store, Ra: isa.FP, Imm: -int64(3 + k), Rb: r})
+	}
+	base := len(prologue)
+
+	code := make([]isa.Instr, 0, base+len(b.body)+4+s)
+	code = append(code, prologue...)
+	for idx, in := range b.body {
+		switch in.Op {
+		case opLoadLocal:
+			in = isa.Instr{Op: isa.Load, Rd: in.Rd, Ra: isa.FP, Imm: localOff(in.Imm)}
+		case opStoreLocal:
+			in = isa.Instr{Op: isa.Store, Ra: isa.FP, Imm: localOff(in.Imm), Rb: in.Rb}
+		case opLocalAddr:
+			in = isa.Instr{Op: isa.AddI, Rd: in.Rd, Ra: isa.FP, Imm: localOff(in.Imm)}
+		}
+		if l, ok := b.fixups[idx]; ok {
+			pos := b.labelPos[l]
+			if pos == -1 {
+				b.errs = append(b.errs, fmt.Errorf("asm: %s: unbound label in branch", b.name))
+				pos = 0
+			}
+			in.Imm = int64(base + pos)
+		}
+		code = append(code, in)
+	}
+
+	// Epilogue: restore callee-saves, pick up the return address, free the
+	// frame by resetting SP to the frame base, restore the parent FP, and
+	// return. The postprocessor later rewrites the free with the
+	// exported-set check.
+	epi := len(code)
+	for k, r := range saved {
+		code = append(code, isa.Instr{Op: isa.Load, Rd: r, Ra: isa.FP, Imm: -int64(3 + k)})
+	}
+	code = append(code,
+		isa.Instr{Op: isa.Load, Rd: isa.LR, Ra: isa.FP, Imm: -1},
+		isa.Instr{Op: isa.Mov, Rd: isa.SP, Ra: isa.FP},
+		isa.Instr{Op: isa.Load, Rd: isa.FP, Ra: isa.SP, Imm: -2},
+		isa.Instr{Op: isa.JmpReg, Ra: isa.LR},
+	)
+
+	leaf := true
+	for _, in := range code {
+		if in.Op == isa.Call {
+			leaf = false
+			break
+		}
+	}
+
+	b.unit.procs[b.slot] = &isa.Proc{
+		Name:          b.name,
+		NumArgs:       b.numArgs,
+		NumLocals:     b.numLocals,
+		SavedRegs:     saved,
+		MaxArgsOut:    maxArgsOut,
+		FrameSize:     frameSize,
+		Code:          code,
+		EpilogueEntry: epi,
+		Leaf:          leaf,
+	}
+	return errors.Join(b.errs...)
+}
+
+// savedRegs returns the callee-save registers the body writes, in register
+// order — the set the prologue must save and the epilogue restore.
+func (b *B) savedRegs() []isa.Reg {
+	var used [isa.NumRegs]bool
+	for _, in := range b.body {
+		switch in.Op {
+		case isa.Store, isa.Jmp, isa.JmpReg, isa.Beq, isa.Bne, isa.Blt,
+			isa.Ble, isa.Bgt, isa.Bge, isa.Call, isa.Poll, isa.Nop,
+			opStoreLocal:
+			// no register destination
+		default:
+			used[in.Rd] = true
+		}
+	}
+	var out []isa.Reg
+	for r := isa.R0; r <= isa.R7; r++ {
+		if used[r] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// maxArgsOut computes the outgoing-arguments region size the way the
+// sequential compiler does: the maximum SP-relative store offset in the
+// body, plus one. (The postprocessor independently recomputes the same
+// quantity for the descriptor; the two must agree.)
+func (b *B) maxArgsOut() int {
+	maxOff := int64(-1)
+	for _, in := range b.body {
+		if in.Op == isa.Store && in.Ra == isa.SP && in.Imm > maxOff {
+			maxOff = in.Imm
+		}
+	}
+	return int(maxOff + 1)
+}
+
+// Build seals every procedure and returns them in declaration order.
+func (u *Unit) Build() ([]*isa.Proc, error) {
+	errs := append([]error(nil), u.errs...)
+	for _, b := range u.builders {
+		if err := b.Seal(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return u.procs, nil
+}
+
+// MustBuild builds the unit's procedures, panicking on error. Program
+// construction errors are host-programming bugs, so tests and benchmarks
+// use this form.
+func (u *Unit) MustBuild() []*isa.Proc {
+	procs, err := u.Build()
+	if err != nil {
+		panic(err)
+	}
+	return procs
+}
+
+// SortProcsByName orders procedures deterministically (used by tooling).
+func SortProcsByName(ps []*isa.Proc) {
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Name < ps[j].Name })
+}

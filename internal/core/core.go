@@ -1,0 +1,203 @@
+// Package core is the public façade of the StackThreads/MP reproduction:
+// it compiles a workload through the toolchain of Figure 1 (sequential
+// compiler → postprocessor → linker) and runs it under one of the three
+// execution regimes of the paper's evaluation — plain sequential, the
+// StackThreads/MP runtime, or the Cilk baseline — returning virtual-time
+// results suitable for the Figures 17-22 experiments.
+//
+// Typical use:
+//
+//	w := apps.Fib(30, apps.ST)
+//	res, err := core.Run(w, core.Config{Mode: core.StackThreads, Workers: 8})
+//	fmt.Println(res.RV, res.Time)
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/apps"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/sched"
+)
+
+// Mode selects the execution regime.
+type Mode int
+
+// Execution regimes.
+const (
+	// Sequential runs on one worker with no thread runtime involvement
+	// (pair with a Seq-variant workload for the "C" baseline).
+	Sequential Mode = iota
+	// StackThreads runs the StackThreads/MP runtime (LTC scheduling,
+	// polling migration protocol).
+	StackThreads
+	// Cilk runs the Cilk-5 baseline (thief-driven steals, Cilk costs).
+	Cilk
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Sequential:
+		return "seq"
+	case StackThreads:
+		return "stackthreads"
+	case Cilk:
+		return "cilk"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Config parameterizes a run. The zero value means: sequential, one worker,
+// SPARC cost model, default sizes.
+type Config struct {
+	Mode    Mode
+	Workers int
+	// CPU is the cost model (default isa.SPARC()).
+	CPU *isa.CostModel
+	// StackWords and HeapWords size the simulated memory (defaults:
+	// machine.DefaultStackWords and 1<<20, or the workload's demand).
+	StackWords int64
+	HeapWords  int
+	// CheckInvariants enables the runtime's stack-invariant checker.
+	CheckInvariants bool
+	// Seed drives every pseudo-random choice; equal seeds reproduce runs
+	// exactly.
+	Seed uint64
+	// Quantum is the scheduler slice in cycles.
+	Quantum int64
+	// StealYoungest switches the ST steal policy from Lazy Task Creation's
+	// steal-oldest to the steal-youngest ablation.
+	StealYoungest bool
+	// SegmentedStacks enables the Section 5.1 multi-stack scheme (see
+	// machine.Options.SegmentedStacks).
+	SegmentedStacks bool
+	// Events, when non-nil, collects the run's migration-level history
+	// (parallel modes only).
+	Events *sched.EventLog
+	// Out receives simulated program output (print builtins).
+	Out io.Writer
+	// RegWindows, OmitFP and LockedLib select the code-generation cost
+	// settings of the sequential-overhead experiments (Figures 17-20).
+	RegWindows bool
+	OmitFP     bool
+	LockedLib  bool
+}
+
+// Result reports a run's outcome in virtual time.
+type Result struct {
+	// RV is the program's return value.
+	RV int64
+	// Time is the virtual elapsed time in cycles (the makespan).
+	Time int64
+	// WorkCycles is the total cycles across workers (Time on one worker).
+	WorkCycles int64
+	// Instrs is the total instruction count across workers.
+	Instrs int64
+	// Steals, Attempts and Rejects describe migration activity.
+	Steals, Attempts, Rejects int64
+	// Stats holds the per-worker counters.
+	Stats []machine.Stats
+}
+
+// Run compiles and executes the workload under cfg.
+func Run(w *apps.Workload, cfg Config) (*Result, error) {
+	prog, err := w.Compile()
+	if err != nil {
+		return nil, fmt.Errorf("core: compile %s/%s: %w", w.Name, w.Variant, err)
+	}
+	return RunProgram(prog, w, cfg)
+}
+
+// RunProgram executes an already-compiled program for the workload (used
+// when the caller wants custom postprocessing options, e.g. the overhead
+// ablations).
+func RunProgram(prog *isa.Program, w *apps.Workload, cfg Config) (*Result, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.CPU == nil {
+		cfg.CPU = isa.SPARC()
+	}
+	heap := cfg.HeapWords
+	if heap == 0 {
+		heap = w.HeapWords
+	}
+	if heap == 0 {
+		heap = 1 << 20
+	}
+
+	m := machine.New(prog, mem.New(heap), cfg.CPU, cfg.Workers, machine.Options{
+		StackWords:      cfg.StackWords,
+		SegmentedStacks: cfg.SegmentedStacks,
+		CheckInvariants: cfg.CheckInvariants,
+		CilkCost:        cfg.Mode == Cilk,
+		Seed:            cfg.Seed,
+		Out:             cfg.Out,
+		RegWindows:      cfg.RegWindows,
+		OmitFP:          cfg.OmitFP,
+		LockedLib:       cfg.LockedLib,
+	})
+
+	args := w.Args
+	if w.Setup != nil {
+		var err error
+		args, err = w.Setup(m.Mem)
+		if err != nil {
+			return nil, fmt.Errorf("core: setup %s: %w", w.Name, err)
+		}
+	}
+
+	res := &Result{}
+	switch cfg.Mode {
+	case Sequential:
+		rv, err := m.RunSingle(w.Entry, args...)
+		if err != nil {
+			return nil, err
+		}
+		wk := m.Workers[0]
+		res.RV = rv
+		res.Time = wk.Cycles
+		res.WorkCycles = wk.Cycles
+		res.Stats = []machine.Stats{wk.Stats}
+	case StackThreads, Cilk:
+		mode := sched.ModeST
+		if cfg.Mode == Cilk {
+			mode = sched.ModeCilk
+		}
+		policy := sched.StealOldest
+		if cfg.StealYoungest {
+			policy = sched.StealYoungest
+		}
+		sres, err := sched.Run(m, w.Entry, args, sched.Config{
+			Mode:    mode,
+			Policy:  policy,
+			Seed:    cfg.Seed,
+			Quantum: cfg.Quantum,
+			Events:  cfg.Events,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.RV = sres.RV
+		res.Time = sres.Time
+		res.WorkCycles = sres.WorkCycles
+		res.Steals = sres.Steals
+		res.Attempts = sres.Attempts
+		res.Rejects = sres.Rejects
+		res.Stats = sres.Stats
+	default:
+		return nil, fmt.Errorf("core: unknown mode %v", cfg.Mode)
+	}
+	for _, st := range res.Stats {
+		res.Instrs += st.Instrs
+	}
+	if w.Verify != nil {
+		if err := w.Verify(m.Mem, res.RV); err != nil {
+			return nil, fmt.Errorf("core: verify %s/%s: %w", w.Name, w.Variant, err)
+		}
+	}
+	return res, nil
+}

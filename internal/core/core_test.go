@@ -1,0 +1,151 @@
+package core_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/stlib"
+)
+
+func TestModeStrings(t *testing.T) {
+	if core.Sequential.String() != "seq" ||
+		core.StackThreads.String() != "stackthreads" ||
+		core.Cilk.String() != "cilk" {
+		t.Fatal("mode names changed")
+	}
+}
+
+func TestRunDefaults(t *testing.T) {
+	res, err := core.Run(apps.Fib(10, apps.Seq), core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RV != 55 {
+		t.Fatalf("fib(10) = %d", res.RV)
+	}
+	if res.Time == 0 || res.Instrs == 0 || len(res.Stats) != 1 {
+		t.Fatalf("empty result: %+v", res)
+	}
+	if res.Time != res.WorkCycles {
+		t.Fatal("one worker: Time must equal WorkCycles")
+	}
+}
+
+// TestRunVerifyFailureSurfaces replaces a workload's verifier with one that
+// always rejects and checks Run reports it.
+func TestRunVerifyFailureSurfaces(t *testing.T) {
+	w := apps.Fib(10, apps.Seq)
+	w.Verify = func(_ *mem.Memory, rv int64) error {
+		return errors.New("deliberate rejection")
+	}
+	_, err := core.Run(w, core.Config{})
+	if err == nil || !strings.Contains(err.Error(), "deliberate rejection") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWorkerCountsAgree(t *testing.T) {
+	for _, mode := range []core.Mode{core.StackThreads, core.Cilk} {
+		for _, n := range []int{1, 2, 5} {
+			res, err := core.Run(apps.Fib(13, apps.ST), core.Config{Mode: mode, Workers: n, Seed: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.RV != 233 {
+				t.Fatalf("%v/%d: rv=%d", mode, n, res.RV)
+			}
+			if len(res.Stats) != n {
+				t.Fatalf("%v/%d: %d stats", mode, n, len(res.Stats))
+			}
+		}
+	}
+}
+
+func TestPrintBuiltinsReachOut(t *testing.T) {
+	u := asm.NewUnit()
+	stlib.AddJoinLib(u)
+	m := u.Proc("talk", 0, 0)
+	m.Const(isa.T0, 41)
+	m.SetArg(0, isa.T0)
+	m.Call("print_int")
+	m.ConstF(isa.T0, 1.5)
+	m.SetArg(0, isa.T0)
+	m.Call("print_float")
+	m.Const(isa.RV, 0)
+	m.Ret(isa.RV)
+
+	w := &apps.Workload{Name: "talk", Variant: apps.Seq, Procs: u.MustBuild(), Entry: "talk"}
+	var buf bytes.Buffer
+	if _, err := core.Run(w, core.Config{Out: &buf}); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "41\n1.5\n" {
+		t.Fatalf("output = %q", got)
+	}
+}
+
+func TestUnknownModeRejected(t *testing.T) {
+	_, err := core.Run(apps.Fib(5, apps.Seq), core.Config{Mode: core.Mode(99)})
+	if err == nil || !strings.Contains(err.Error(), "unknown mode") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestAllCPUModels exercises every cost model end to end in all three
+// execution regimes; results must agree (costs change, semantics must not).
+func TestAllCPUModels(t *testing.T) {
+	for _, cpu := range isa.CostModels() {
+		seq, err := core.Run(apps.Fib(12, apps.Seq), core.Config{Mode: core.Sequential, CPU: cpu})
+		if err != nil {
+			t.Fatalf("%s seq: %v", cpu.Name, err)
+		}
+		st, err := core.Run(apps.Fib(12, apps.ST), core.Config{Mode: core.StackThreads, Workers: 3, CPU: cpu, Seed: 2})
+		if err != nil {
+			t.Fatalf("%s st: %v", cpu.Name, err)
+		}
+		ck, err := core.Run(apps.Fib(12, apps.ST), core.Config{Mode: core.Cilk, Workers: 3, CPU: cpu, Seed: 2})
+		if err != nil {
+			t.Fatalf("%s cilk: %v", cpu.Name, err)
+		}
+		if seq.RV != 144 || st.RV != 144 || ck.RV != 144 {
+			t.Fatalf("%s: results %d/%d/%d", cpu.Name, seq.RV, st.RV, ck.RV)
+		}
+	}
+}
+
+// TestCodegenCostSettings checks the Figures 17-20 cost knobs change cycles
+// in the expected directions without changing results.
+func TestCodegenCostSettings(t *testing.T) {
+	base, err := core.Run(apps.Fib(12, apps.Seq), core.Config{Mode: core.Sequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	win, err := core.Run(apps.Fib(12, apps.Seq), core.Config{Mode: core.Sequential, RegWindows: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if win.RV != base.RV {
+		t.Fatal("RegWindows changed the result")
+	}
+	if win.Time >= base.Time {
+		t.Fatalf("register windows did not speed up calls: %d vs %d", win.Time, base.Time)
+	}
+	fp, err := core.Run(apps.Fib(12, apps.Seq), core.Config{Mode: core.Sequential, CPU: isa.MIPS(), OmitFP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noFP, err := core.Run(apps.Fib(12, apps.Seq), core.Config{Mode: core.Sequential, CPU: isa.MIPS()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.Time >= noFP.Time {
+		t.Fatalf("omitting FP did not refund cycles: %d vs %d", fp.Time, noFP.Time)
+	}
+}

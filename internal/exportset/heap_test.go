@@ -1,0 +1,121 @@
+package exportset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetBasics(t *testing.T) {
+	var s Set
+	if !s.Empty() || s.Len() != 0 {
+		t.Fatal("zero set not empty")
+	}
+	if got := s.TopFP(999); got != 999 {
+		t.Fatalf("TopFP sentinel = %d", got)
+	}
+	if got := s.MinLow(888); got != 888 {
+		t.Fatalf("MinLow sentinel = %d", got)
+	}
+	s.Push(Entry{FP: 100, Low: 90})
+	s.Push(Entry{FP: 80, Low: 70})
+	s.Push(Entry{FP: 120, Low: 110})
+	if s.Len() != 3 || s.Empty() {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if got := s.Top(); got.FP != 80 {
+		t.Fatalf("Top = %+v, want FP 80", got)
+	}
+	if got := s.MinLow(0); got != 70 {
+		t.Fatalf("MinLow = %d, want 70", got)
+	}
+	if !s.Contains(100) || s.Contains(101) {
+		t.Fatal("Contains wrong")
+	}
+	if e := s.PopTop(); e.FP != 80 {
+		t.Fatalf("PopTop = %+v", e)
+	}
+	if got := s.TopFP(0); got != 100 {
+		t.Fatalf("TopFP after pop = %d", got)
+	}
+	if s.Contains(80) {
+		t.Fatal("popped frame still contained")
+	}
+}
+
+func TestSetDoubleExportPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("pushing the same FP twice did not panic")
+		}
+	}()
+	var s Set
+	s.Push(Entry{FP: 5, Low: 1})
+	s.Push(Entry{FP: 5, Low: 1})
+}
+
+// TestSetHeapOrderProperty: popping repeatedly yields FPs in ascending
+// order (topmost first), for random disjoint frame sets.
+func TestSetHeapOrderProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		rng := rand.New(rand.NewSource(seed))
+		var s Set
+		// Build disjoint frames: random sizes stacked downward.
+		fps := make([]int64, 0, n)
+		base := int64(1 << 20)
+		for i := 0; i < n; i++ {
+			size := int64(rng.Intn(30) + 2)
+			s.Push(Entry{FP: base, Low: base - size})
+			fps = append(fps, base)
+			base -= size + int64(rng.Intn(5))
+		}
+		sort.Slice(fps, func(i, j int) bool { return fps[i] < fps[j] })
+		for _, want := range fps {
+			// With disjoint frames the topmost also has the minimum low.
+			if s.MinLow(0) != s.Top().Low {
+				return false
+			}
+			if got := s.PopTop(); got.FP != want {
+				return false
+			}
+		}
+		return s.Empty()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSetInterleavedOps mixes pushes and pops against a reference model.
+func TestSetInterleavedOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var s Set
+	ref := map[int64]int64{}
+	next := int64(1 << 30)
+	for i := 0; i < 5000; i++ {
+		if rng.Intn(3) > 0 || len(ref) == 0 {
+			size := int64(rng.Intn(20) + 2)
+			fp := next
+			next -= size + 1
+			s.Push(Entry{FP: fp, Low: fp - size})
+			ref[fp] = fp - size
+		} else {
+			var min int64 = 1 << 62
+			for fp := range ref {
+				if fp < min {
+					min = fp
+				}
+			}
+			e := s.PopTop()
+			if e.FP != min || e.Low != ref[min] {
+				t.Fatalf("PopTop = %+v, want FP %d Low %d", e, min, ref[min])
+			}
+			delete(ref, min)
+		}
+		if s.Len() != len(ref) {
+			t.Fatalf("len mismatch: %d vs %d", s.Len(), len(ref))
+		}
+	}
+}

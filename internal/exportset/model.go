@@ -1,0 +1,337 @@
+package exportset
+
+import (
+	"fmt"
+	"slices"
+)
+
+// State is the formal model of a worker's stack management from Figure 13
+// of the paper. Frames are abstract cells: the nth bottom-most frame of the
+// worker's physical stack is the natural number n (larger numbers are
+// closer to the stack top); frames of other workers' stacks are negative
+// numbers. A worker's state is the five-tuple
+//
+//	(S, T, E, R, X)
+//
+// where S is the logical stack (S[0] is the top frame f1), T the stack
+// pointer, E the exported set, R the retired set (exported-or-retained
+// frames that have finished but whose owner has not observed it), and X the
+// extended set (stack-pointer positions whose arguments region has been
+// extended). R and X do not exist at runtime; they are the proof artifacts
+// of Section 5.2, and the property tests check the Lemma 2 / Lemma 3
+// propositions on every reachable state.
+type State struct {
+	S []int64
+	T int64
+	E map[int64]bool
+	R map[int64]bool
+	X map[int64]bool
+	// Dead is checker bookkeeping, not part of the paper's five-tuple: the
+	// stack positions of finished frames whose space has not been
+	// reclaimed (popped by shrink, or retired below the stack pointer).
+	// The paper's exact-promptness claim t = max(S ∪ E) only holds while
+	// Dead is empty; see the Lemma 2 counterexample in the tests.
+	Dead map[int64]bool
+}
+
+// Initial returns the start state ((0), 0, ∅, ∅, ∅): one bottom frame.
+func Initial() *State {
+	return &State{
+		S:    []int64{0},
+		E:    map[int64]bool{},
+		R:    map[int64]bool{},
+		X:    map[int64]bool{},
+		Dead: map[int64]bool{},
+	}
+}
+
+// Clone returns a deep copy.
+func (s *State) Clone() *State {
+	return &State{
+		S:    slices.Clone(s.S),
+		T:    s.T,
+		E:    cloneSet(s.E),
+		R:    cloneSet(s.R),
+		X:    cloneSet(s.X),
+		Dead: cloneSet(s.Dead),
+	}
+}
+
+func cloneSet(m map[int64]bool) map[int64]bool {
+	out := make(map[int64]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+// maxSet returns max A, defined as zero for the empty set (as in the
+// paper's notation).
+func maxSet(m map[int64]bool) int64 {
+	var max int64
+	for k := range m {
+		if k > max {
+			max = k
+		}
+	}
+	return max
+}
+
+// MaxE returns max E.
+func (s *State) MaxE() int64 { return maxSet(s.E) }
+
+// Call pushes a new frame at the stack top: ((t+1):s, t+1, E, R, X).
+//
+// Operationally the prologue of the new frame overwrites the slots of
+// whatever retired garbage occupied that position before, so a stale
+// retired/extended mark at t+1 disappears; the paper's transitions never
+// re-examine such frames, and the model mirrors the overwrite explicitly so
+// that frame identities stay meaningful across address reuse.
+func (s *State) Call() {
+	s.T++
+	s.S = append([]int64{s.T}, s.S...)
+	delete(s.R, s.T)
+	delete(s.X, s.T)
+	delete(s.Dead, s.T)
+}
+
+// Suspend detaches the top n frames from the logical stack, exporting every
+// detached local frame and extending the physically top frame's arguments
+// region: (r, t, E + {ui | ui > 0}, R, X + {t}).
+func (s *State) Suspend(n int) []int64 {
+	if n < 0 || n >= len(s.S) {
+		panic(fmt.Sprintf("model: Suspend(%d) on stack of %d", n, len(s.S)))
+	}
+	u := slices.Clone(s.S[:n])
+	s.S = s.S[n:]
+	for _, f := range u {
+		if f > 0 {
+			s.E[f] = true
+		}
+	}
+	s.X[s.T] = true
+	return u
+}
+
+// Return finishes the top frame f1. When f1 lies strictly above every
+// exported frame the stack shrinks to just below it (and extension marks at
+// or above f1 are discarded); otherwise SP is retained and f1 retires.
+func (s *State) Return() {
+	if len(s.S) == 0 {
+		panic("model: Return on empty logical stack")
+	}
+	f1 := s.S[0]
+	s.S = s.S[1:]
+	if f1 > s.MaxE() {
+		s.T = f1 - 1
+		for x := range s.X {
+			if x >= f1 {
+				delete(s.X, x)
+			}
+		}
+		for d := range s.Dead {
+			if d >= f1 {
+				delete(s.Dead, d)
+			}
+		}
+		return
+	}
+	s.R[f1] = true
+	if f1 >= 0 && !s.E[f1] {
+		// A retired frame that is not exported is never revisited by
+		// shrink: its space stays dead until the stack pops past it.
+		s.Dead[f1] = true
+	}
+}
+
+// Restart concatenates the chain c (c[0] is the chain top c1, c[n-1] the
+// bottom cn) onto the logical stack. The current frame f1 is exported when
+// it is local and lies above cn; the physically top frame's arguments
+// region is extended either way. Preconditions: every local frame of c is
+// already exported (they were exported when suspended).
+func (s *State) Restart(c []int64) {
+	if len(c) == 0 {
+		panic("model: Restart of empty chain")
+	}
+	if len(s.S) == 0 {
+		panic("model: Restart with empty logical stack")
+	}
+	for _, ci := range c {
+		if ci > 0 && !s.E[ci] {
+			panic(fmt.Sprintf("model: Restart chain frame %d not exported", ci))
+		}
+	}
+	f1 := s.S[0]
+	cn := c[len(c)-1]
+	if f1 > cn && f1 >= 0 {
+		s.E[f1] = true
+	}
+	s.S = append(slices.Clone(c), s.S...)
+	s.X[s.T] = true
+}
+
+// Shrink performs one shrink step: if the maximum exported frame has
+// retired, remove it and lower the stack pointer to the larger of the
+// current frame and the new maximum exported frame — extending the latter's
+// arguments region when it becomes the physical top. Reports whether the
+// state changed (callers repeat until it returns false to reach the prompt
+// point of Lemma 2's discussion).
+func (s *State) Shrink() bool {
+	if len(s.S) == 0 {
+		panic("model: Shrink with empty logical stack")
+	}
+	m := s.MaxE()
+	if !s.R[m] || !s.E[m] {
+		return false
+	}
+	delete(s.E, m)
+	delete(s.R, m)
+	s.Dead[m] = true
+	f1 := s.S[0]
+	mE := s.MaxE()
+	if f1 > mE {
+		s.T = f1
+	} else {
+		s.T = mE
+		s.X[mE] = true
+	}
+	for d := range s.Dead {
+		if d > s.T {
+			delete(s.Dead, d)
+		}
+	}
+	return true
+}
+
+// RemoteFinish records that another worker finished frame f, which must be
+// a frame of this worker's physical stack that is not on its logical stack.
+func (s *State) RemoteFinish(f int64) {
+	if slices.Contains(s.S, f) {
+		panic(fmt.Sprintf("model: RemoteFinish(%d) of a frame on the logical stack", f))
+	}
+	s.R[f] = true
+}
+
+// InvariantError describes the first violated proposition, or nil.
+type InvariantError struct {
+	Prop  string
+	State string
+}
+
+func (e *InvariantError) Error() string {
+	return fmt.Sprintf("model invariant %s violated in state %s", e.Prop, e.State)
+}
+
+// above reports the paper's frame ordering f > g restricted to the cases
+// where it is defined: a local frame is above any foreign frame; two local
+// frames compare by position; two foreign frames do not compare ("it does
+// not matter whether f > g holds", Section 5.2).
+func above(f, g int64) (bool, bool) {
+	switch {
+	case f >= 0 && g < 0:
+		return true, true
+	case f < 0 && g >= 0:
+		return false, true
+	case f >= 0 && g >= 0:
+		return f > g, true
+	}
+	return false, false
+}
+
+// CheckInvariants verifies the operative stack-management properties on the
+// current state:
+//
+//	L2.1   f_{i-1} < f_i              ⇒ f_i ∈ E   (locality-aware ordering)
+//	T4.1a  t ≥ max(S ∪ E)             (safety: SP at or above every frame
+//	                                   that is live or awaiting shrink)
+//	T4.1b  Dead = ∅ ⇒ t = max(S ∪ E)  (promptness: the equality of Theorem 4
+//	                                   holds exactly while no finished
+//	                                   frame's space lingers unreclaimed —
+//	                                   the slack Section 5.1 accepts)
+//	T4.2   f1 < t ⇒ t ∈ X             (the physically top frame's arguments
+//	                                   region is extended whenever the
+//	                                   current frame is not the physical
+//	                                   top — Invariant 2's guard)
+//
+// The paper's Lemma 2 property 2 and Lemma 3 property 1 are checked
+// separately by CheckStrictLemma2: they are auxiliary induction hypotheses
+// that fail on reachable states involving remote finishes and shrink (see
+// the counterexample test), without affecting safety.
+func (s *State) CheckInvariants() error {
+	fail := func(prop string) error {
+		return &InvariantError{Prop: prop, State: s.String()}
+	}
+	for i := 1; i < len(s.S); i++ {
+		child, parent := s.S[i-1], s.S[i]
+		if below, ok := above(parent, child); ok && below && !s.E[parent] {
+			return fail("L2.1")
+		}
+	}
+	want := maxSet(s.E)
+	for _, f := range s.S {
+		if f > want {
+			want = f
+		}
+	}
+	if s.T < want {
+		return fail("T4.1a")
+	}
+	if len(s.Dead) == 0 && s.T != want {
+		return fail("T4.1b")
+	}
+	if len(s.S) > 0 {
+		f1 := s.S[0]
+		notTop := f1 < 0 || f1 < s.T
+		if notTop && !s.X[s.T] {
+			return fail("T4.2")
+		}
+	}
+	return nil
+}
+
+// CheckStrictLemma2 additionally verifies the paper's stated auxiliary
+// propositions, which hold on executions without remote finishes:
+//
+//	L2.2  f_{i-1} > f_i+1 ∧ f_{i-1} > 0 ∧ f_{i-1} ∉ E ⇒ f_{i-1}-1 ∈ E
+//	L3.1  ∃e∈E. f_i ≤ e < f_{i-1} ∧ f_{i-1} ∉ E       ⇒ f_{i-1}-1 ∈ X
+//
+// restricted to pairs of local frames.
+func (s *State) CheckStrictLemma2() error {
+	fail := func(prop string) error {
+		return &InvariantError{Prop: prop, State: s.String()}
+	}
+	for i := 1; i < len(s.S); i++ {
+		child, parent := s.S[i-1], s.S[i]
+		if child < 0 || parent < 0 {
+			continue
+		}
+		if child > parent+1 && child > 0 && !s.E[child] && !s.E[child-1] {
+			return fail("L2.2")
+		}
+		if !s.E[child] {
+			for e := range s.E {
+				if parent <= e && e < child {
+					if !s.X[child-1] {
+						return fail("L3.1")
+					}
+					break
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (s *State) String() string {
+	return fmt.Sprintf("(S=%v T=%d E=%v R=%v X=%v dead=%v)",
+		s.S, s.T, setList(s.E), setList(s.R), setList(s.X), setList(s.Dead))
+}
+
+func setList(m map[int64]bool) []int64 {
+	out := make([]int64, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	slices.Sort(out)
+	return out
+}

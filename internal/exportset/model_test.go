@@ -1,0 +1,285 @@
+package exportset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// driver exercises the Figure 13 transition system with only legal
+// operation sequences, mirroring what a real worker can do:
+//
+//   - call / return follow procedure nesting;
+//   - suspend detaches a prefix of the logical stack and produces a context
+//     that is either kept (restartable) or "migrated" (its frames are then
+//     finished remotely, one by one, top first);
+//   - restart consumes a kept context (all of whose local frames are still
+//     exported — finished frames are never restarted);
+//   - foreign chains (negative frames) occasionally arrive, modelling
+//     contexts stolen from other workers;
+//   - shrink runs at arbitrary points.
+type driver struct {
+	s   *State
+	rng *rand.Rand
+	// kept are restartable contexts (chains as suspended, top first).
+	kept [][]int64
+	// migrated are chains being finished remotely; mi tracks progress.
+	migrated [][]int64
+	// foreignSeq numbers foreign frames.
+	foreignSeq int64
+	// localOnly disables migration and foreign chains; strictLemma
+	// additionally disables shrink and turns on the paper's full Lemma 2 /
+	// Lemma 3 auxiliary checks, which only hold on shrink-free executions
+	// (the proof's shrink case is too coarse — see the counterexample
+	// tests).
+	localOnly   bool
+	strictLemma bool
+	t           *testing.T
+}
+
+func newDriver(t *testing.T, seed int64) *driver {
+	return &driver{s: Initial(), rng: rand.New(rand.NewSource(seed)), t: t}
+}
+
+func (d *driver) check(op string) {
+	if err := d.s.CheckInvariants(); err != nil {
+		d.t.Fatalf("after %s: %v", op, err)
+	}
+	if d.strictLemma {
+		if err := d.s.CheckStrictLemma2(); err != nil {
+			d.t.Fatalf("after %s (strict): %v", op, err)
+		}
+	}
+}
+
+func (d *driver) step() {
+	s := d.s
+	switch d.rng.Intn(10) {
+	case 0, 1, 2, 3:
+		s.Call()
+		d.check("call")
+	case 4, 5:
+		// Return only when a frame beyond the bottom sentinel exists.
+		if len(s.S) > 1 {
+			s.Return()
+			d.check("return")
+		}
+	case 6:
+		if len(s.S) > 1 {
+			n := 1 + d.rng.Intn(len(s.S)-1)
+			c := s.Suspend(n)
+			if d.localOnly || d.rng.Intn(2) == 0 {
+				d.kept = append(d.kept, c)
+			} else {
+				d.migrated = append(d.migrated, c)
+			}
+			d.check("suspend")
+		}
+	case 7:
+		if len(d.kept) > 0 {
+			i := d.rng.Intn(len(d.kept))
+			c := d.kept[i]
+			d.kept = append(d.kept[:i], d.kept[i+1:]...)
+			s.Restart(c)
+			d.check("restart")
+		} else if !d.localOnly && d.rng.Intn(3) == 0 {
+			// A foreign chain stolen from another worker.
+			var c []int64
+			for k := 0; k <= d.rng.Intn(2); k++ {
+				d.foreignSeq++
+				c = append(c, -d.foreignSeq)
+			}
+			s.Restart(c)
+			d.check("restart-foreign")
+		}
+	case 8:
+		// Another worker finishes the next frame of a migrated chain.
+		for i, c := range d.migrated {
+			if len(c) == 0 {
+				continue
+			}
+			f := c[0]
+			d.migrated[i] = c[1:]
+			if f > 0 {
+				s.RemoteFinish(f)
+				d.check("remote-finish")
+			}
+			break
+		}
+	case 9:
+		if d.strictLemma {
+			return
+		}
+		for s.Shrink() {
+			d.check("shrink")
+		}
+	}
+}
+
+// TestModelInvariantsRandomWalk drives long random legal executions and
+// checks the Lemma 2 / Lemma 3 propositions and Theorem 4 at every state.
+func TestModelInvariantsRandomWalk(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		d := newDriver(t, seed)
+		for i := 0; i < 2000; i++ {
+			d.step()
+		}
+	}
+}
+
+// TestModelQuick drives shorter walks under testing/quick's seeds.
+func TestModelQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		d := newDriver(t, seed)
+		for i := 0; i < 300; i++ {
+			d.step()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestModelStrictLemma2ShrinkFree checks that on executions without shrink
+// (and without migration) the paper's full Lemma 2 / Lemma 3 auxiliary
+// propositions do hold — shrink is precisely what breaks them (see the
+// counterexample below and the random-walk evidence that local-only walks
+// with shrink also violate L2.2).
+func TestModelStrictLemma2ShrinkFree(t *testing.T) {
+	for seed := int64(500); seed < 540; seed++ {
+		d := newDriver(t, seed)
+		d.localOnly = true
+		d.strictLemma = true
+		for i := 0; i < 2000; i++ {
+			d.step()
+		}
+	}
+}
+
+// TestModelTheorem4Promptness: after repeating shrink until it no longer
+// fires, the exported set's maximum is unfinished — the "reasonably prompt"
+// claim of Section 5.2.
+func TestModelTheorem4Promptness(t *testing.T) {
+	for seed := int64(100); seed < 140; seed++ {
+		d := newDriver(t, seed)
+		for i := 0; i < 500; i++ {
+			d.step()
+		}
+		for d.s.Shrink() {
+		}
+		m := d.s.MaxE()
+		if m != 0 && d.s.R[m] {
+			t.Fatalf("seed %d: shrink left a finished maximum exported frame", seed)
+		}
+	}
+}
+
+// TestPaperLemma2Counterexample documents a reproduction finding: the
+// auxiliary proposition 2 of Lemma 2 (and with it the exact-promptness
+// equality of Theorem 4) is NOT preserved by shrink on a reachable state
+// involving a remote finish. The paper's proof of the shrink case argues
+// "E' retains all elements in ~s", which does not cover the consequence
+// frame f_{i-1}−1, a frame that need not be on the logical stack.
+//
+// Concretely: the bottom thread suspends three frames which migrate to
+// another worker; two fresh frames are then built above them; the migrated
+// worker finishes the topmost old frame; shrink reclaims it. The unexported
+// fresh frame now sits above a gap whose guard frame is gone. Safety is
+// unaffected — SP stays above every live frame, and the machine merely
+// leaves the freed slot unreclaimed until the stack pops past it (the space
+// slack Section 5.1 accepts).
+func TestPaperLemma2Counterexample(t *testing.T) {
+	s := Initial()
+	s.Call() // 1
+	s.Call() // 2
+	s.Call() // 3
+	c := s.Suspend(3)
+	if got := []int64{3, 2, 1}; len(c) != 3 || c[0] != got[0] {
+		t.Fatalf("suspend chain = %v", c)
+	}
+	s.Call() // 4 (above the exported 1..3; t was 3)
+	s.Call() // 5
+	s.RemoteFinish(3)
+	if !s.Shrink() {
+		t.Fatal("shrink did not fire")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatalf("operative invariants must survive: %v", err)
+	}
+	if err := s.CheckStrictLemma2(); err == nil {
+		t.Fatal("expected the strict Lemma 2 proposition to fail on this state; " +
+			"if this now passes, the model drifted from the counterexample")
+	}
+	// The promptness drift: frame 5 then 4 return; t overshoots max(S∪E)
+	// by the dead slot 3 — safety (t ≥ max) still holds.
+	s.Return()
+	s.Return()
+	if s.T < 2 {
+		t.Fatalf("safety violated: t=%d below live frame 2", s.T)
+	}
+	if len(s.Dead) == 0 && s.T != 2 {
+		t.Fatalf("expected dead-slot slack to explain t=%d", s.T)
+	}
+}
+
+// TestModelPaperScenarios replays the two subtle cases of Section 5.3 at
+// the model level.
+func TestModelRestartExportsCurrentFrame(t *testing.T) {
+	s := Initial()
+	// main forks f (frame 1), f blocks.
+	s.Call()          // f = 1
+	c := s.Suspend(1) // f detaches, exported
+	s.Call()          // g = 2 (above f)
+	s.Restart(c)      // g must be exported: f1 > cn
+	if !s.E[2] {
+		t.Fatal("restart did not export the current frame above the chain bottom")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// f finishes and shrinks; g's frame must survive (t stays at g).
+	s.Return() // f (top) returns; f ≤ max E so it retires
+	for s.Shrink() {
+	}
+	if s.T < 2 {
+		t.Fatalf("shrink discarded the live frame g: t=%d", s.T)
+	}
+}
+
+// TestModelNoReclaimAtMax replays the second subtle case: a finishing frame
+// equal to the maximum exported frame retires instead of freeing.
+func TestModelNoReclaimAtMax(t *testing.T) {
+	s := Initial()
+	s.Call() // f = 1
+	s.Call() // g = 2
+	c := s.Suspend(2)
+	if !(s.E[1] && s.E[2]) {
+		t.Fatal("suspend did not export both frames")
+	}
+	s.Restart(c)
+	// g (frame 2) is now the logical top AND max E. Its return must retire,
+	// not free — otherwise t would drop to 1 with the arguments region of
+	// f unextended (Invariant 2).
+	s.Return()
+	if s.T != 2 {
+		t.Fatalf("return freed the maximum exported frame: t=%d, want 2", s.T)
+	}
+	if !s.R[2] {
+		t.Fatal("finishing frame did not retire")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelCloneIndependent(t *testing.T) {
+	s := Initial()
+	s.Call()
+	s.Call()
+	c := s.Clone()
+	s.Return()
+	if len(c.S) != 3 || c.T != 2 {
+		t.Fatalf("clone mutated: %v", c)
+	}
+}

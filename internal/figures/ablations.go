@@ -1,0 +1,215 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/postproc"
+	"repro/internal/spec"
+)
+
+// The ablations quantify the design choices DESIGN.md calls out:
+//
+//  1. the Section 8.1 augmentation criteria (vs. augmenting every epilogue),
+//  2. LTC's steal-oldest policy (vs. steal-youngest),
+//  3. the space behaviour of LIFO scheduling (the p·S1 bound of
+//     Blumofe-Leiserson the paper invokes in Section 2).
+
+// CriteriaAblation measures, per SPEC stand-in, the sequential cycles with
+// the augmentation criteria active versus every epilogue augmented.
+type CriteriaAblation struct {
+	Bench                string
+	Criteria, AugmentAll int64
+}
+
+// Saved returns the fraction of overhead cycles the criteria save.
+func (c CriteriaAblation) Saved() float64 {
+	return float64(c.AugmentAll-c.Criteria) / float64(c.AugmentAll)
+}
+
+// AblateCriteria runs the criteria ablation on the SPARC model.
+func AblateCriteria(w io.Writer) ([]CriteriaAblation, error) {
+	fmt.Fprintln(w, "Ablation: Section 8.1 augmentation criteria (sequential cycles, sparc)")
+	fmt.Fprintf(w, "%-10s %14s %14s %8s\n", "bench", "criteria", "augment-all", "saved")
+	cpu := isa.SPARC()
+	var out []CriteriaAblation
+	for _, p := range spec.Profiles() {
+		row := CriteriaAblation{Bench: p.Name}
+		for _, forceAll := range []bool{false, true} {
+			wl := spec.Generate(p, spec.Options{Inline: false, TLSReserved: true})
+			prog, err := postproc.CompileUnits(wl.Units, postproc.Options{
+				Augment: true, ForceAugmentAll: forceAll,
+			})
+			if err != nil {
+				return nil, err
+			}
+			res, err := core.RunProgram(prog, wl, core.Config{
+				Mode: core.Sequential, CPU: cpu, LockedLib: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if forceAll {
+				row.AugmentAll = res.Time
+			} else {
+				row.Criteria = res.Time
+			}
+		}
+		out = append(out, row)
+		fmt.Fprintf(w, "%-10s %14d %14d %7.1f%%\n",
+			row.Bench, row.Criteria, row.AugmentAll, 100*row.Saved())
+	}
+	return out, nil
+}
+
+// PolicyAblation compares the steal policies on one benchmark.
+type PolicyAblation struct {
+	Bench                     string
+	Workers                   int
+	OldestTime, YoungestTime  int64
+	OldestSteals, YoungSteals int64
+}
+
+// AblateStealPolicy compares LTC steal-oldest against steal-youngest.
+func AblateStealPolicy(w io.Writer, sc Scale) ([]PolicyAblation, error) {
+	fmt.Fprintln(w, "Ablation: steal policy (LTC steal-oldest vs steal-youngest)")
+	fmt.Fprintf(w, "%-10s %4s %12s %8s %12s %8s\n",
+		"bench", "p", "oldest(cyc)", "steals", "youngest", "steals")
+	var out []PolicyAblation
+	for _, name := range []string{"fib", "cilksort", "nqueens"} {
+		for _, workers := range []int{8, 32} {
+			row := PolicyAblation{Bench: name, Workers: workers}
+			for _, youngest := range []bool{false, true} {
+				wl, err := ablWorkload(name, sc)
+				if err != nil {
+					return nil, err
+				}
+				res, err := core.Run(wl, core.Config{
+					Mode:          core.StackThreads,
+					Workers:       workers,
+					Seed:          3,
+					StealYoungest: youngest,
+				})
+				if err != nil {
+					return nil, err
+				}
+				if youngest {
+					row.YoungestTime, row.YoungSteals = res.Time, res.Steals
+				} else {
+					row.OldestTime, row.OldestSteals = res.Time, res.Steals
+				}
+			}
+			out = append(out, row)
+			fmt.Fprintf(w, "%-10s %4d %12d %8d %12d %8d\n",
+				row.Bench, row.Workers, row.OldestTime, row.OldestSteals,
+				row.YoungestTime, row.YoungSteals)
+		}
+	}
+	return out, nil
+}
+
+// ablWorkload builds ablation inputs, including the nqueens extension that
+// is not part of the Figure 21/22 set.
+func ablWorkload(name string, sc Scale) (*apps.Workload, error) {
+	if name == "nqueens" {
+		if sc == Full {
+			return apps.NQueens(10, apps.ST), nil
+		}
+		return apps.NQueens(7, apps.ST), nil
+	}
+	return Workload(name, sc, apps.ST)
+}
+
+// SpaceRow is one point of the space experiment.
+type SpaceRow struct {
+	Workers int
+	// HighWater is the maximum per-worker stack consumption in words.
+	HighWater int64
+}
+
+// SpaceBound measures the per-worker stack high-water mark of fib across
+// worker counts. Under LIFO scheduling of a strict computation the paper
+// (citing Blumofe-Leiserson) expects total activation space at most p times
+// the sequential depth — so the per-worker maximum should stay within a
+// small constant of the one-worker run.
+func SpaceBound(w io.Writer, sc Scale) ([]SpaceRow, error) {
+	n := int64(16)
+	if sc == Full {
+		n = 25
+	}
+	fmt.Fprintln(w, "Space: per-worker stack high water for fib under LTC (words)")
+	fmt.Fprintf(w, "%8s %12s\n", "workers", "max/worker")
+	var out []SpaceRow
+	for _, workers := range []int{1, 2, 4, 8, 16, 32} {
+		res, err := core.Run(apps.Fib(n, apps.ST), core.Config{
+			Mode: core.StackThreads, Workers: workers, Seed: 5,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var maxHW int64
+		for _, st := range res.Stats {
+			if st.StackHighWater > maxHW {
+				maxHW = st.StackHighWater
+			}
+		}
+		out = append(out, SpaceRow{Workers: workers, HighWater: maxHW})
+		fmt.Fprintf(w, "%8d %12d\n", workers, maxHW)
+	}
+	return out, nil
+}
+
+// FragRow compares the two stack-management schemes on the staircase
+// fragmentation stress.
+type FragRow struct {
+	Generations int64
+	// SingleHighWater is the single-stack scheme's per-stack high water in
+	// words; SegmentedHighWater the multi-stack scheme's per-segment one.
+	SingleHighWater    int64
+	SegmentedHighWater int64
+	// Segments and SegmentsLive report the multi-stack scheme's mapping
+	// and reuse behaviour.
+	Segments, SegmentsLive int64
+}
+
+// AblateSegmentedStacks runs the Section 5.1 comparison: the default
+// single-stack management against the sketched multi-stack scheme, on the
+// staircase workload whose live data is constant while a single stack must
+// keep deepening.
+func AblateSegmentedStacks(w io.Writer) ([]FragRow, error) {
+	fmt.Fprintln(w, "Ablation: Section 5.1 stack management — single stack vs segmented")
+	fmt.Fprintf(w, "%12s %18s %20s %10s %6s\n",
+		"generations", "single high-water", "segmented high-water", "segments", "live")
+	const depth = 24
+	var out []FragRow
+	for _, gens := range []int64{8, 16, 32, 64} {
+		row := FragRow{Generations: gens}
+		for _, segmented := range []bool{false, true} {
+			res, err := core.Run(apps.Staircase(gens, depth), core.Config{
+				Mode:            core.StackThreads,
+				Workers:         1,
+				SegmentedStacks: segmented,
+				CheckInvariants: true,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("staircase gens=%d segmented=%v: %w", gens, segmented, err)
+			}
+			st := res.Stats[0]
+			if segmented {
+				row.SegmentedHighWater = st.StackHighWater
+				row.Segments = st.Segments
+				row.SegmentsLive = st.SegmentsLive
+			} else {
+				row.SingleHighWater = st.StackHighWater
+			}
+		}
+		out = append(out, row)
+		fmt.Fprintf(w, "%12d %18d %20d %10d %6d\n",
+			row.Generations, row.SingleHighWater, row.SegmentedHighWater,
+			row.Segments, row.SegmentsLive)
+	}
+	return out, nil
+}

@@ -1,0 +1,85 @@
+package figures_test
+
+import (
+	"testing"
+
+	"repro/internal/figures"
+)
+
+func TestAblateCriteria(t *testing.T) {
+	rows, err := figures.AblateCriteria(out(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	anySaved := false
+	for _, r := range rows {
+		if r.Criteria > r.AugmentAll {
+			t.Errorf("%s: criteria build slower than augment-all (%d > %d)", r.Bench, r.Criteria, r.AugmentAll)
+		}
+		if r.Criteria < r.AugmentAll {
+			anySaved = true
+		}
+	}
+	if !anySaved {
+		t.Error("the augmentation criteria saved nothing on any benchmark")
+	}
+}
+
+func TestAblateStealPolicy(t *testing.T) {
+	rows, err := figures.AblateStealPolicy(out(t), figures.Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Steal-oldest should need fewer steals than steal-youngest on the
+	// deep fork trees (it ships whole subtrees); require it to hold in
+	// aggregate.
+	var oldSteals, youngSteals int64
+	for _, r := range rows {
+		oldSteals += r.OldestSteals
+		youngSteals += r.YoungSteals
+	}
+	if oldSteals >= youngSteals {
+		t.Errorf("steal-oldest used %d steals, steal-youngest %d; expected fewer for LTC", oldSteals, youngSteals)
+	}
+}
+
+func TestSpaceBound(t *testing.T) {
+	rows, err := figures.SpaceBound(out(t), figures.Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := rows[0].HighWater
+	for _, r := range rows[1:] {
+		// Per-worker consumption must stay within a small constant of the
+		// sequential depth (the aggregate p·S1 bound implies a per-worker
+		// bound of roughly S1 plus migration slack).
+		if r.HighWater > 4*base {
+			t.Errorf("p=%d: per-worker high water %d exceeds 4×S1=%d", r.Workers, r.HighWater, 4*base)
+		}
+	}
+}
+
+func TestAblateSegmentedStacks(t *testing.T) {
+	rows, err := figures.AblateSegmentedStacks(out(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	// Single-stack high water must grow with the generation count...
+	if last.SingleHighWater < 2*first.SingleHighWater {
+		t.Errorf("single-stack high water did not grow: %d -> %d",
+			first.SingleHighWater, last.SingleHighWater)
+	}
+	// ...while the segmented scheme stays flat and recycles segments.
+	if last.SegmentedHighWater > first.SegmentedHighWater+64 {
+		t.Errorf("segmented high water grew: %d -> %d",
+			first.SegmentedHighWater, last.SegmentedHighWater)
+	}
+	if last.Segments > 8 {
+		t.Errorf("segmented scheme mapped %d segments; reclamation not working", last.Segments)
+	}
+	if last.SingleHighWater < 4*last.SegmentedHighWater {
+		t.Errorf("expected ≥4x space advantage at %d generations (single=%d segmented=%d)",
+			last.Generations, last.SingleHighWater, last.SegmentedHighWater)
+	}
+}

@@ -1,0 +1,244 @@
+// Package figures regenerates every figure of the paper's evaluation
+// (Section 8): the SPEC int 95 sequential-overhead charts (Figures 17-20),
+// the uniprocessor comparison against sequential C and Cilk (Figure 21),
+// and the multiprocessor scaling comparison (Figure 22, Table 2's machine
+// stood in by the deterministic virtual-time multiprocessor).
+//
+// Each driver prints the same rows/series the paper reports and returns the
+// raw data so tests can assert the qualitative shape.
+package figures
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/spec"
+)
+
+// Scale selects experiment sizes.
+type Scale int
+
+// Experiment scales.
+const (
+	// Quick shrinks inputs for tests and smoke runs.
+	Quick Scale = iota
+	// Full approximates the paper's workload sizes (minutes of host time).
+	Full
+)
+
+// BenchNames lists the parallel benchmarks in the order of Figures 21/22.
+var BenchNames = []string{
+	"cilksort", "notempmul", "knapsack", "fib", "heat",
+	"lu", "fft", "spacemul", "blockedmul", "magic",
+}
+
+// Workload builds the named benchmark at the given scale and variant.
+func Workload(name string, sc Scale, v apps.Variant) (*apps.Workload, error) {
+	type sizes struct{ quick, full int64 }
+	pick := func(s sizes) int64 {
+		if sc == Full {
+			return s.full
+		}
+		return s.quick
+	}
+	switch name {
+	case "cilksort":
+		return apps.Cilksort(pick(sizes{800, 20000}), v, 11), nil
+	case "notempmul":
+		return apps.Notempmul(pick(sizes{12, 96}), v, 21), nil
+	case "knapsack":
+		n := pick(sizes{14, 24})
+		return apps.Knapsack(int(n), 10*n/2, v, 5), nil
+	case "fib":
+		return apps.Fib(pick(sizes{15, 25}), v), nil
+	case "heat":
+		g := pick(sizes{16, 128})
+		return apps.Heat(g, g, pick(sizes{6, 24}), v, 31), nil
+	case "lu":
+		return apps.LU(pick(sizes{12, 128}), v, 32), nil
+	case "fft":
+		return apps.FFT(pick(sizes{128, 4096}), v, 33), nil
+	case "spacemul":
+		return apps.Spacemul(pick(sizes{12, 48}), v, 23), nil
+	case "blockedmul":
+		return apps.Blockedmul(pick(sizes{12, 96}), v, 22), nil
+	case "magic":
+		return apps.Magic(v, 34), nil
+	}
+	return nil, fmt.Errorf("figures: unknown benchmark %q", name)
+}
+
+// SpecFigure identifies the SPEC overhead figure for a CPU name.
+func SpecFigure(cpuName string) int {
+	switch cpuName {
+	case "sparc":
+		return 17
+	case "x86":
+		return 18
+	case "mips":
+		return 19
+	case "alpha":
+		return 20
+	}
+	return 0
+}
+
+// SpecOverheads runs Figure 17/18/19/20 for the CPU and writes the rows.
+func SpecOverheads(w io.Writer, cpu *isa.CostModel) ([]*spec.Overhead, error) {
+	settings, err := spec.SettingsFor(cpu.Name)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "Figure %d: SPEC int 95 overhead on %s (elapsed time, default = 1)\n",
+		SpecFigure(cpu.Name), cpu.Name)
+	fmt.Fprintf(w, "%-10s", "bench")
+	for _, s := range settings {
+		fmt.Fprintf(w, " %14s", s.Name)
+	}
+	fmt.Fprintln(w)
+
+	var out []*spec.Overhead
+	sums := make([]float64, len(settings))
+	for _, p := range spec.Profiles() {
+		o, err := spec.RunOverhead(cpu, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, o)
+		fmt.Fprintf(w, "%-10s", p.Name)
+		for i, s := range settings {
+			rel := o.Relative(s.Name)
+			sums[i] += rel
+			fmt.Fprintf(w, " %14.3f", rel)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%-10s", "avg")
+	for i := range settings {
+		fmt.Fprintf(w, " %14.3f", sums[i]/float64(len(spec.Profiles())))
+	}
+	fmt.Fprintln(w)
+	return out, nil
+}
+
+// UniRow is one bar pair of Figure 21.
+type UniRow struct {
+	Bench   string
+	SeqTime int64
+	STTime  int64
+	CilkT   int64
+}
+
+// STRel and CilkRel are execution times relative to sequential C.
+func (r UniRow) STRel() float64   { return float64(r.STTime) / float64(r.SeqTime) }
+func (r UniRow) CilkRel() float64 { return float64(r.CilkT) / float64(r.SeqTime) }
+
+// Uniprocessor runs Figure 21: serial execution time of StackThreads/MP and
+// Cilk relative to sequential C for every benchmark.
+func Uniprocessor(w io.Writer, sc Scale) ([]UniRow, error) {
+	fmt.Fprintln(w, "Figure 21: uniprocessor execution time relative to sequential C")
+	fmt.Fprintf(w, "%-12s %12s %12s\n", "bench", "stackthreads", "cilk")
+	var rows []UniRow
+	for _, name := range BenchNames {
+		seqW, err := Workload(name, sc, apps.Seq)
+		if err != nil {
+			return nil, err
+		}
+		seqRes, err := core.Run(seqW, core.Config{Mode: core.Sequential})
+		if err != nil {
+			return nil, fmt.Errorf("%s/seq: %w", name, err)
+		}
+		stW, err := Workload(name, sc, apps.ST)
+		if err != nil {
+			return nil, err
+		}
+		stRes, err := core.Run(stW, core.Config{Mode: core.StackThreads, Workers: 1})
+		if err != nil {
+			return nil, fmt.Errorf("%s/st: %w", name, err)
+		}
+		ckW, err := Workload(name, sc, apps.ST)
+		if err != nil {
+			return nil, err
+		}
+		ckRes, err := core.Run(ckW, core.Config{Mode: core.Cilk, Workers: 1})
+		if err != nil {
+			return nil, fmt.Errorf("%s/cilk: %w", name, err)
+		}
+		r := UniRow{Bench: name, SeqTime: seqRes.Time, STTime: stRes.Time, CilkT: ckRes.Time}
+		rows = append(rows, r)
+		fmt.Fprintf(w, "%-12s %12.3f %12.3f\n", name, r.STRel(), r.CilkRel())
+	}
+	return rows, nil
+}
+
+// ScalingWorkers are the processor counts of Figure 22.
+var ScalingWorkers = []int{1, 8, 32, 50}
+
+// ScaleRow is one benchmark's series in Figure 22.
+type ScaleRow struct {
+	Bench string
+	// STTime and CilkTime are indexed like ScalingWorkers.
+	STTime   []int64
+	CilkTime []int64
+}
+
+// Ratio returns ST elapsed time relative to Cilk at worker index i.
+func (r ScaleRow) Ratio(i int) float64 { return float64(r.STTime[i]) / float64(r.CilkTime[i]) }
+
+// Scaling runs Figure 22: elapsed time of StackThreads/MP relative to Cilk
+// on 1 to 50 (virtual) processors.
+func Scaling(w io.Writer, sc Scale, benches []string) ([]ScaleRow, error) {
+	if benches == nil {
+		benches = BenchNames
+	}
+	fmt.Fprintln(w, "Figure 22: StackThreads/MP elapsed time relative to Cilk")
+	fmt.Fprintf(w, "%-12s", "bench")
+	for _, n := range ScalingWorkers {
+		fmt.Fprintf(w, " %8s", fmt.Sprintf("p=%d", n))
+	}
+	fmt.Fprintln(w)
+	var rows []ScaleRow
+	for _, name := range benches {
+		row := ScaleRow{Bench: name}
+		for _, n := range ScalingWorkers {
+			stW, err := Workload(name, sc, apps.ST)
+			if err != nil {
+				return nil, err
+			}
+			stRes, err := core.Run(stW, core.Config{Mode: core.StackThreads, Workers: n, Seed: 1})
+			if err != nil {
+				return nil, fmt.Errorf("%s/st/p=%d: %w", name, n, err)
+			}
+			ckW, err := Workload(name, sc, apps.ST)
+			if err != nil {
+				return nil, err
+			}
+			ckRes, err := core.Run(ckW, core.Config{Mode: core.Cilk, Workers: n, Seed: 1})
+			if err != nil {
+				return nil, fmt.Errorf("%s/cilk/p=%d: %w", name, n, err)
+			}
+			row.STTime = append(row.STTime, stRes.Time)
+			row.CilkTime = append(row.CilkTime, ckRes.Time)
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(w, "%-12s", name)
+		for i := range ScalingWorkers {
+			fmt.Fprintf(w, " %8.3f", row.Ratio(i))
+		}
+		fmt.Fprintln(w)
+	}
+	return rows, nil
+}
+
+// Table2 prints the parallel-machine configuration (the DES stand-in for
+// the paper's Enterprise 10000).
+func Table2(w io.Writer) {
+	fmt.Fprintln(w, "Table 2: parallel benchmark setting")
+	fmt.Fprintln(w, "  Machine   deterministic virtual-time multiprocessor (DES)")
+	fmt.Fprintln(w, "  CPU       sparc cost model (see internal/isa/cost.go)")
+	fmt.Fprintf(w, "  CPUs      up to %d workers\n", ScalingWorkers[len(ScalingWorkers)-1])
+	fmt.Fprintln(w, "  Memory    flat shared word memory, per-worker stacks")
+}

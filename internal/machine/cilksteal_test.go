@@ -1,0 +1,134 @@
+package machine_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/postproc"
+)
+
+// TestStealOldestCilkDirect drives a Cilk-mode steal at the machine level:
+// worker 0 runs a program whose main forks a long-running child; mid-child,
+// the test steals main's continuation (the oldest fork boundary) and runs
+// it on worker 1. Both halves must complete with correct results, the
+// stolen local frames must enter worker 0's exported set, and worker 0 must
+// drop into its scheduler bottom when the child finishes.
+func TestStealOldestCilkDirect(t *testing.T) {
+	u := asm.NewUnit()
+
+	// spin(n): a long countdown (the running child).
+	s := u.Proc("spin", 1, 0)
+	loop := s.NewLabel()
+	done := s.NewLabel()
+	s.LoadArg(isa.R0, 0)
+	s.Bind(loop)
+	s.BleI(isa.R0, 0, done)
+	s.AddI(isa.R0, isa.R0, -1)
+	s.Jmp(loop)
+	s.Bind(done)
+	s.Const(isa.RV, 0)
+	s.Ret(isa.RV)
+
+	// main(cell): fork spin(big); then write 99 to *cell; return 7.
+	m := u.Proc("main", 1, 0)
+	m.LoadArg(isa.R1, 0)
+	m.Const(isa.T0, 100000)
+	m.SetArg(0, isa.T0)
+	m.Fork("spin")
+	m.Const(isa.T0, 99)
+	m.Store(isa.R1, 0, isa.T0)
+	m.Const(isa.RV, 7)
+	m.Ret(isa.RV)
+
+	procs, err := u.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := postproc.Compile(procs, postproc.Options{Augment: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm := mem.New(64)
+	cell, err := mm.Alloc(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach := machine.New(prog, mm, isa.SPARC(), 2, machine.Options{
+		StackWords: 1 << 12, CheckInvariants: true, CilkCost: true,
+	})
+	w0, w1 := mach.Workers[0], mach.Workers[1]
+
+	w0.StartCall(prog.EntryOf["main"], []int64{cell})
+	// Run a while: main forks spin and spin starts counting.
+	if ev := w0.Run(2000); ev != machine.EvBudget {
+		t.Fatalf("unexpected event %v (%v)", ev, w0.Err)
+	}
+
+	c := w0.StealOldestCilk()
+	if c == nil {
+		t.Fatal("no continuation to steal")
+	}
+	if w0.Exported().Empty() {
+		t.Fatal("stolen frames were not exported on the victim")
+	}
+
+	// The thief runs the stolen continuation of main to completion.
+	w1.StartThread(c)
+	if ev := w1.Run(math.MaxInt64); ev != machine.EvBottom {
+		t.Fatalf("thief event %v (%v)", ev, w1.Err)
+	}
+	if got := mm.Load(cell); got != 99 {
+		t.Fatalf("stolen continuation wrote %d, want 99", got)
+	}
+	if got := w1.Regs[isa.RV]; got != 7 {
+		t.Fatalf("stolen continuation returned %d, want 7", got)
+	}
+
+	// The victim finishes the child and bottoms out at its scheduler.
+	if ev := w0.Run(math.MaxInt64); ev != machine.EvBottom {
+		t.Fatalf("victim event %v (%v)", ev, w0.Err)
+	}
+	// The remotely finished frames shrink away on the victim.
+	w0.Shrink()
+	if !w0.Exported().Empty() {
+		t.Fatalf("victim still holds %d exported frames after shrink", w0.Exported().Len())
+	}
+}
+
+// TestStealOldestCilkNothingToSteal covers the no-fork and unsafe-pause
+// cases.
+func TestStealOldestCilkNothingToSteal(t *testing.T) {
+	u := asm.NewUnit()
+	m := u.Proc("main", 0, 0)
+	loop := m.NewLabel()
+	m.Const(isa.R0, 1<<20)
+	m.Bind(loop)
+	m.AddI(isa.R0, isa.R0, -1)
+	m.BgtI(isa.R0, 0, loop)
+	m.Const(isa.RV, 0)
+	m.Ret(isa.RV)
+	procs, err := u.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := postproc.Compile(procs, postproc.Options{Augment: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach := machine.New(prog, mem.New(64), isa.SPARC(), 2, machine.Options{StackWords: 1 << 12})
+	w0 := mach.Workers[0]
+	if c := w0.StealOldestCilk(); c != nil {
+		t.Fatal("stole from an idle worker")
+	}
+	w0.StartCall(prog.EntryOf["main"], nil)
+	if ev := w0.Run(500); ev != machine.EvBudget {
+		t.Fatalf("event %v", ev)
+	}
+	if c := w0.StealOldestCilk(); c != nil {
+		t.Fatal("stole a continuation from a fork-free program")
+	}
+}

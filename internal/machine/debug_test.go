@@ -1,0 +1,22 @@
+package machine_test
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+)
+
+func TestDumpFibST(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("verbose only")
+	}
+	w := apps.Fib(3, apps.ST)
+	prog := w.MustCompile()
+	for _, d := range prog.Descs {
+		t.Logf("== %s [%d,%d) pure=%d forks=%v aug=%v frame=%d saved=%v",
+			d.Name, d.Entry, d.End, d.PureEpilogue, d.ForkPoints, d.Augmented, d.FrameSize, d.SavedRegs)
+	}
+	for pc, in := range prog.Code {
+		t.Logf("%4d  %v", pc, in)
+	}
+}

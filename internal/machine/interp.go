@@ -1,0 +1,248 @@
+package machine
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// runtimeError is a simulated-program fault raised inside the interpreter
+// and recovered at the Run boundary.
+type runtimeError struct {
+	worker int
+	pc     int64
+	msg    string
+}
+
+func (e *runtimeError) Error() string {
+	return fmt.Sprintf("worker %d: pc %d: %s", e.worker, e.pc, e.msg)
+}
+
+func (w *Worker) fail(pc int64, format string, args ...any) {
+	panic(&runtimeError{worker: w.ID, pc: pc, msg: fmt.Sprintf(format, args...)})
+}
+
+// Run executes instructions until an event occurs or the cycle budget is
+// exhausted. The budget is in virtual cycles; pass math.MaxInt64 to run to
+// the next event.
+func (w *Worker) Run(budget int64) (ev Event) {
+	deadline := w.Cycles + budget
+	if budget == math.MaxInt64 {
+		deadline = math.MaxInt64
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			switch e := r.(type) {
+			case *mem.Trap:
+				w.Err = fmt.Errorf("worker %d: pc %d: %w", w.ID, w.PC, e)
+			case *runtimeError:
+				w.Err = e
+			default:
+				panic(r)
+			}
+			ev = EvTrap
+		}
+	}()
+
+	code := w.M.Prog.Code
+	cost := &w.M.Cost.OpCost
+	memory := w.M.Mem
+
+	for {
+		pc := w.PC
+		if pc < 0 {
+			switch pc {
+			case MagicHalt:
+				return EvHalt
+			case MagicSched:
+				return EvBottom
+			default:
+				t, ok := w.M.takeThunk(pc)
+				if !ok {
+					w.fail(pc, "jump to unknown magic pc")
+				}
+				// Control has returned to an invalid frame: restore the
+				// callee-save registers saved at the restart call
+				// (Section 3.4).
+				if w.Regs[isa.FP] != t.fp {
+					w.fail(pc, "invalid-frame thunk FP mismatch: have %d, want %d", w.Regs[isa.FP], t.fp)
+				}
+				for i := 0; i < isa.NumCalleeSave; i++ {
+					w.Regs[isa.R0+isa.Reg(i)] = t.regs[i]
+				}
+				w.PC = t.resumePC
+				continue
+			}
+		}
+		if w.Cycles >= deadline {
+			return EvBudget
+		}
+		if pc >= int64(len(code)) {
+			w.fail(pc, "pc out of program")
+		}
+
+		in := code[pc]
+		if w.M.Opts.Trace != nil {
+			fmt.Fprintf(w.M.Opts.Trace, "w%d %8d pc=%-5d sp=%-8d fp=%-8d rv=%-6d %v\n",
+				w.ID, w.Cycles, pc, w.Regs[isa.SP], w.Regs[isa.FP], w.Regs[isa.RV], in)
+		}
+		w.Stats.Instrs++
+		w.Cycles += cost[in.Op]
+		next := pc + 1
+
+		switch in.Op {
+		case isa.Nop:
+		case isa.Const:
+			w.Regs[in.Rd] = in.Imm
+		case isa.Mov:
+			w.Regs[in.Rd] = w.Regs[in.Ra]
+		case isa.Add:
+			w.Regs[in.Rd] = w.Regs[in.Ra] + w.Regs[in.Rb]
+		case isa.Sub:
+			w.Regs[in.Rd] = w.Regs[in.Ra] - w.Regs[in.Rb]
+		case isa.Mul:
+			w.Regs[in.Rd] = w.Regs[in.Ra] * w.Regs[in.Rb]
+		case isa.Div:
+			if w.Regs[in.Rb] == 0 {
+				w.fail(pc, "division by zero")
+			}
+			w.Regs[in.Rd] = w.Regs[in.Ra] / w.Regs[in.Rb]
+		case isa.Mod:
+			if w.Regs[in.Rb] == 0 {
+				w.fail(pc, "modulo by zero")
+			}
+			w.Regs[in.Rd] = w.Regs[in.Ra] % w.Regs[in.Rb]
+		case isa.And:
+			w.Regs[in.Rd] = w.Regs[in.Ra] & w.Regs[in.Rb]
+		case isa.Or:
+			w.Regs[in.Rd] = w.Regs[in.Ra] | w.Regs[in.Rb]
+		case isa.Xor:
+			w.Regs[in.Rd] = w.Regs[in.Ra] ^ w.Regs[in.Rb]
+		case isa.Shl:
+			w.Regs[in.Rd] = w.Regs[in.Ra] << uint64(w.Regs[in.Rb]&63)
+		case isa.Shr:
+			w.Regs[in.Rd] = w.Regs[in.Ra] >> uint64(w.Regs[in.Rb]&63)
+		case isa.AddI:
+			w.Regs[in.Rd] = w.Regs[in.Ra] + in.Imm
+		case isa.MulI:
+			w.Regs[in.Rd] = w.Regs[in.Ra] * in.Imm
+		case isa.Load:
+			w.Regs[in.Rd] = memory.Load(w.Regs[in.Ra] + in.Imm)
+		case isa.Store:
+			memory.Store(w.Regs[in.Ra]+in.Imm, w.Regs[in.Rb])
+		case isa.Tas:
+			// Atomic under the discrete-event scheduler: instructions are
+			// indivisible across workers.
+			a := w.Regs[in.Ra] + in.Imm
+			w.Regs[in.Rd] = memory.Load(a)
+			memory.Store(a, 1)
+		case isa.Jmp:
+			next = in.Imm
+		case isa.JmpReg:
+			next = w.Regs[in.Ra]
+		case isa.Beq:
+			if w.Regs[in.Ra] == w.Regs[in.Rb] {
+				next = in.Imm
+			}
+		case isa.Bne:
+			if w.Regs[in.Ra] != w.Regs[in.Rb] {
+				next = in.Imm
+			}
+		case isa.Blt:
+			if w.Regs[in.Ra] < w.Regs[in.Rb] {
+				next = in.Imm
+			}
+		case isa.Ble:
+			if w.Regs[in.Ra] <= w.Regs[in.Rb] {
+				next = in.Imm
+			}
+		case isa.Bgt:
+			if w.Regs[in.Ra] > w.Regs[in.Rb] {
+				next = in.Imm
+			}
+		case isa.Bge:
+			if w.Regs[in.Ra] >= w.Regs[in.Rb] {
+				next = in.Imm
+			}
+		case isa.Call:
+			w.Regs[isa.LR] = next
+			if b, ok := isa.BuiltinFromTarget(in.Imm); ok {
+				// The builtin sets w.PC itself (normally to LR; suspend and
+				// restart transfer control elsewhere).
+				ev, resume := w.builtin(b, pc)
+				if !resume {
+					return ev
+				}
+				continue
+			}
+			w.Stats.Calls++
+			d := w.M.descAt[in.Imm]
+			if w.Regs[isa.SP]-d.FrameSize-4 < w.Stack().Lo {
+				w.fail(pc, "stack overflow calling %s", d.Name)
+			}
+			if depth := w.Stack().Hi - (w.Regs[isa.SP] - d.FrameSize); depth > w.Stats.StackHighWater {
+				w.Stats.StackHighWater = depth
+			}
+			// Code-generation cost settings (Figures 17-20): register
+			// windows make prologue saves and epilogue restores free;
+			// omitted frame pointers shorten both by a fixed amount.
+			if w.M.Opts.RegWindows && w.M.Cost.RegWindowSave {
+				// A windowed call spills lazily: the prologue's save-area
+				// traffic (callee-saves plus the return-address and FP
+				// links) and the matching epilogue reloads are refunded.
+				w.Cycles -= int64(len(d.SavedRegs)+2) * (cost[isa.Store] + cost[isa.Load])
+			}
+			if w.M.Opts.OmitFP && w.M.Cost.OmitFPRefund > 0 {
+				w.Cycles -= w.M.Cost.OmitFPRefund
+			}
+			if w.M.Opts.CilkCost {
+				if w.M.isForkPC[pc] {
+					w.Cycles += w.M.Cost.CilkSpawnCost
+				}
+				if d.Augmented {
+					w.Cycles -= w.M.augRefund
+				}
+			}
+			next = in.Imm
+		case isa.Poll:
+			if w.M.Opts.CilkCost {
+				w.Cycles -= cost[isa.Poll] // Cilk code has no poll points
+			} else if w.PollSignal {
+				w.PC = next
+				return EvPoll
+			}
+		case isa.FAdd:
+			w.Regs[in.Rd] = f2b(b2f(w.Regs[in.Ra]) + b2f(w.Regs[in.Rb]))
+		case isa.FSub:
+			w.Regs[in.Rd] = f2b(b2f(w.Regs[in.Ra]) - b2f(w.Regs[in.Rb]))
+		case isa.FMul:
+			w.Regs[in.Rd] = f2b(b2f(w.Regs[in.Ra]) * b2f(w.Regs[in.Rb]))
+		case isa.FDiv:
+			w.Regs[in.Rd] = f2b(b2f(w.Regs[in.Ra]) / b2f(w.Regs[in.Rb]))
+		case isa.FNeg:
+			w.Regs[in.Rd] = f2b(-b2f(w.Regs[in.Ra]))
+		case isa.FCmp:
+			a, b := b2f(w.Regs[in.Ra]), b2f(w.Regs[in.Rb])
+			switch {
+			case a < b:
+				w.Regs[in.Rd] = -1
+			case a > b:
+				w.Regs[in.Rd] = 1
+			default:
+				w.Regs[in.Rd] = 0
+			}
+		case isa.ItoF:
+			w.Regs[in.Rd] = f2b(float64(w.Regs[in.Ra]))
+		case isa.FtoI:
+			w.Regs[in.Rd] = int64(b2f(w.Regs[in.Ra]))
+		default:
+			w.fail(pc, "illegal opcode %v", in.Op)
+		}
+		w.PC = next
+	}
+}
+
+func b2f(v int64) float64 { return math.Float64frombits(uint64(v)) }
+func f2b(v float64) int64 { return int64(math.Float64bits(v)) }

@@ -1,0 +1,46 @@
+package machine
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/isa"
+)
+
+// RunSingle runs the procedure entryName(args...) to completion on worker 0
+// with no other workers participating, scheduling ready contexts in LTC
+// order when the logical stack empties. It serves the sequential baselines
+// and the uniprocessor runs of Figure 21.
+//
+// The result is the program's return value: the RV register at the halt
+// event (either the halt builtin or the main thread returning to its
+// original bottom).
+func (m *Machine) RunSingle(entryName string, args ...int64) (int64, error) {
+	entry, ok := m.Prog.EntryOf[entryName]
+	if !ok {
+		return 0, fmt.Errorf("machine: no procedure %q", entryName)
+	}
+	w := m.Workers[0]
+	w.StartCall(entry, args)
+	for {
+		switch ev := w.Run(math.MaxInt64); ev {
+		case EvHalt:
+			return w.Regs[isa.RV], nil
+		case EvBottom:
+			w.Shrink()
+			if c := w.ReadyQ.PopHead(); c != nil {
+				w.StartThread(c)
+				continue
+			}
+			return 0, fmt.Errorf("machine: deadlock: worker idle with an empty ready queue")
+		case EvPoll:
+			continue // no steal requests in single-worker mode
+		case EvBlocked:
+			return 0, fmt.Errorf("machine: deadlock: single worker blocked on a lock")
+		case EvTrap:
+			return 0, w.Err
+		default:
+			return 0, fmt.Errorf("machine: unexpected event %v", ev)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package machine_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/mem"
+)
+
+func TestTraceFibST(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("verbose only")
+	}
+	w := apps.Fib(2, apps.ST)
+	prog := w.MustCompile()
+	var buf bytes.Buffer
+	m := machine.New(prog, mem.New(1<<16), isa.SPARC(), 1, machine.Options{
+		StackWords: 1 << 16,
+		Trace:      &buf,
+	})
+	rv, err := m.RunSingle(w.Entry, w.Args...)
+	lines := strings.Split(buf.String(), "\n")
+	tail := lines
+	if len(tail) > 400 {
+		tail = tail[len(tail)-400:]
+	}
+	for _, l := range tail {
+		t.Log(l)
+	}
+	if err != nil {
+		t.Fatalf("rv=%d err=%v", rv, err)
+	}
+	t.Logf("rv=%d", rv)
+}

@@ -1,0 +1,114 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	m := New(1024)
+	m.Store(Guard, 42)
+	if got := m.Load(Guard); got != 42 {
+		t.Fatalf("Load = %d", got)
+	}
+	m.StoreF(Guard+1, 3.25)
+	if got := m.LoadF(Guard + 1); got != 3.25 {
+		t.Fatalf("LoadF = %g", got)
+	}
+}
+
+func TestGuardTraps(t *testing.T) {
+	m := New(64)
+	for _, a := range []Addr{0, 1, Guard - 1, m.Size(), m.Size() + 100, -1} {
+		func() {
+			defer func() {
+				if _, ok := recover().(*Trap); !ok {
+					t.Errorf("access at %d did not trap", a)
+				}
+			}()
+			m.Load(a)
+		}()
+	}
+}
+
+func TestTrapError(t *testing.T) {
+	tr := &Trap{Kind: "store", Addr: 7}
+	if tr.Error() == "" {
+		t.Fatal("empty trap message")
+	}
+}
+
+func TestAlloc(t *testing.T) {
+	m := New(100)
+	a, err := m.Alloc(40)
+	if err != nil || a != Guard {
+		t.Fatalf("first alloc = %d, %v", a, err)
+	}
+	b, err := m.Alloc(60)
+	if err != nil || b != Guard+40 {
+		t.Fatalf("second alloc = %d, %v", b, err)
+	}
+	if _, err := m.Alloc(1); err == nil {
+		t.Fatal("overcommitted heap did not error")
+	}
+	if _, err := m.Alloc(-1); err == nil {
+		t.Fatal("negative alloc did not error")
+	}
+	if m.HeapUsed() != 100 {
+		t.Fatalf("HeapUsed = %d", m.HeapUsed())
+	}
+}
+
+func TestMapStackDisjoint(t *testing.T) {
+	m := New(16)
+	r1 := m.MapStack(100)
+	r2 := m.MapStack(50)
+	if r1.Hi != r2.Lo {
+		t.Fatalf("stacks not adjacent: %v %v", r1, r2)
+	}
+	if r1.Contains(r2.Lo) || r2.Contains(r1.Hi-1) {
+		t.Fatal("regions overlap")
+	}
+	if r1.Len() != 100 || r2.Len() != 50 {
+		t.Fatal("wrong region lengths")
+	}
+	m.Store(r1.Hi-1, 7)
+	m.Store(r2.Lo, 9)
+	if m.Load(r1.Hi-1) != 7 || m.Load(r2.Lo) != 9 {
+		t.Fatal("stack words not independent")
+	}
+}
+
+func TestBulkReadWrite(t *testing.T) {
+	m := New(256)
+	base, _ := m.Alloc(8)
+	in := []int64{1, -2, 3, -4}
+	m.WriteWords(base, in)
+	out := m.ReadWords(base, 4)
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("word %d = %d", i, out[i])
+		}
+	}
+	fs := []float64{0.5, -1.25, 1e300}
+	m.WriteFloats(base+4, fs)
+	got := m.ReadFloats(base+4, 3)
+	for i := range fs {
+		if got[i] != fs[i] {
+			t.Fatalf("float %d = %g", i, got[i])
+		}
+	}
+}
+
+// TestFloatBitsProperty: float round-trips are exact for all finite values.
+func TestFloatBitsProperty(t *testing.T) {
+	m := New(64)
+	f := func(v float64) bool {
+		m.StoreF(Guard, v)
+		got := m.LoadF(Guard)
+		return got == v || (got != got && v != v) // NaN-safe
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

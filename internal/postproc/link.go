@@ -1,0 +1,94 @@
+package postproc
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Link concatenates postprocessed procedures into an executable Program,
+// resolving symbolic call targets (to procedure entries or to negative
+// builtin targets), globalizing branch targets, and collecting the
+// per-procedure descriptors into the link-time table that the runtime
+// searches by address (Section 3.3).
+func Link(pps []*Processed) (*isa.Program, error) {
+	prog := &isa.Program{EntryOf: make(map[string]int64)}
+
+	base := int64(0)
+	bases := make([]int64, len(pps))
+	for i, pp := range pps {
+		p := pp.Proc
+		if _, dup := prog.EntryOf[p.Name]; dup {
+			return nil, fmt.Errorf("link: duplicate symbol %q", p.Name)
+		}
+		if _, isBuiltin := isa.BuiltinByName(p.Name); isBuiltin {
+			return nil, fmt.Errorf("link: procedure %q shadows a builtin", p.Name)
+		}
+		bases[i] = base
+		prog.EntryOf[p.Name] = base
+		base += int64(len(p.Code))
+	}
+
+	for i, pp := range pps {
+		p := pp.Proc
+		b := bases[i]
+		for _, in := range p.Code {
+			switch in.Op {
+			case isa.Jmp, isa.Beq, isa.Bne, isa.Blt, isa.Ble, isa.Bgt, isa.Bge:
+				in.Imm += b
+			case isa.Call:
+				if entry, ok := prog.EntryOf[in.Sym]; ok {
+					in.Imm = entry
+				} else if bi, ok := isa.BuiltinByName(in.Sym); ok {
+					in.Imm = isa.BuiltinTarget(bi)
+				} else {
+					return nil, fmt.Errorf("link: %s: undefined symbol %q", p.Name, in.Sym)
+				}
+			}
+			prog.Code = append(prog.Code, in)
+		}
+
+		d := &isa.Desc{
+			Name:          p.Name,
+			Entry:         b,
+			End:           b + int64(len(p.Code)),
+			RetAddrOff:    pp.RetAddrOff,
+			ParentFPOff:   pp.ParentFPOff,
+			BodyStart:     b + int64(pp.BodyStart),
+			EpilogueStart: b + int64(pp.EpilogueStart),
+			PureEpilogue:  b + int64(pp.PureEpilogue),
+			MaxSPStore:    pp.MaxSPStore,
+			SavedRegs:     append([]isa.Reg(nil), p.SavedRegs...),
+			FrameSize:     int64(p.FrameSize),
+			Augmented:     pp.Augmented,
+		}
+		for _, off := range pp.ForkOffsets {
+			d.ForkPoints = append(d.ForkPoints, b+int64(off))
+		}
+		prog.Descs = append(prog.Descs, d)
+		if pp.MaxSPStore > prog.MaxArgsOut {
+			prog.MaxArgsOut = pp.MaxSPStore
+		}
+	}
+	return prog, nil
+}
+
+// Compile is the full toolchain of Figure 1 in one call: postprocess every
+// procedure under opt and link the result.
+func Compile(procs []*isa.Proc, opt Options) (*isa.Program, error) {
+	pps, err := ProcessAll(procs, opt)
+	if err != nil {
+		return nil, err
+	}
+	return Link(pps)
+}
+
+// MustCompile is Compile for host-side program construction, where an error
+// is a bug in the embedded program.
+func MustCompile(procs []*isa.Proc, opt Options) *isa.Program {
+	prog, err := Compile(procs, opt)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}

@@ -1,0 +1,410 @@
+// Package postproc implements the assembly-language postprocessor of
+// Section 3.3 and the epilogue augmentation of Section 5.2.
+//
+// It consumes procedures emitted by the "sequential compiler" (package
+// asm), assuming only that they obey the calling standard, and performs the
+// postprocessor's four tasks:
+//
+//  1. It tampers the epilogue of each procedure so that the frame is freed
+//     only when doing so is safe: the frame must lie strictly above every
+//     frame in the worker's exported set and inside the worker's own
+//     physical stack. Otherwise SP is retained and the frame is marked
+//     finished by zeroing its return-address slot.
+//  2. It generates a pure epilogue replica per procedure — restore FP and
+//     callee-save registers, touch nothing else, keep SP — used by the
+//     runtime to virtually unwind frames.
+//  3. It builds a descriptor per procedure: pure-epilogue address, the
+//     FP-relative offsets of the return-address and parent-FP slots, the
+//     maximum SP-relative store offset (arguments-region size), and the
+//     fork points.
+//  4. It recognizes and removes the __st_fork_block_begin/__st_fork_block_end
+//     bracket calls, recording the bracketed call as a fork point.
+//
+// Like the real postprocessor (an AWK script over GCC assembly), it works
+// purely from the instruction stream: it pattern-matches prologues and
+// epilogues rather than trusting compiler metadata, and it cross-checks what
+// it finds against the assembler's own bookkeeping.
+package postproc
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// WLSlotMaxE is the worker-local storage slot, addressed through the
+// reserved WL register, holding the FP of the topmost exported frame (the
+// "max E" cell read by augmented epilogues). The runtime keeps it equal to
+// the worker's stack bottom when the exported set is empty, which makes the
+// two-comparison test exact even across workers' disjoint stack regions.
+const WLSlotMaxE = 0
+
+// Options controls postprocessing.
+type Options struct {
+	// Augment enables epilogue augmentation. The pure sequential builds of
+	// Figures 17-21 ("default", "flat", "fp", "+thread" settings) disable
+	// it; every StackThreads build enables it.
+	Augment bool
+	// ForceAugmentAll disables the Section 8.1 criteria that skip
+	// augmenting procedures whose execution is provably LIFO, augmenting
+	// every procedure instead. Used by overhead ablations.
+	ForceAugmentAll bool
+	// UnsafeFreeAtMax weakens the free check so a frame equal to the
+	// topmost exported frame is reclaimed — the behaviour the second
+	// Section 5.3 rule forbids. Failure-injection tests use it to show the
+	// rule is load-bearing (it breaks Invariant 2).
+	UnsafeFreeAtMax bool
+}
+
+// Processed is the postprocessor's per-procedure output: the rewritten code
+// plus descriptor ingredients with procedure-relative addresses, globalized
+// at link time.
+type Processed struct {
+	Proc          *isa.Proc
+	RetAddrOff    int64
+	ParentFPOff   int64
+	PureEpilogue  int   // proc-relative pc of the pure epilogue replica
+	MaxSPStore    int64 // arguments-region size assumed by the procedure
+	ForkOffsets   []int // proc-relative pcs of fork call instructions
+	BodyStart     int   // proc-relative pc of the first body instruction
+	EpilogueStart int   // proc-relative pc of the epilogue's first restore
+	Augmented     bool
+}
+
+// frameShape is what the pattern matcher extracts from a prologue.
+type frameShape struct {
+	frameSize int64
+	saved     []isa.Reg
+	bodyStart int
+}
+
+// matchPrologue pattern-matches the calling-standard prologue:
+//
+//	store [sp-1], lr
+//	store [sp-2], fp
+//	mov fp, sp
+//	addi sp, fp, -FrameSize
+//	store [fp-3-k], r_k   (k = 0..S-1)
+func matchPrologue(code []isa.Instr, name string) (frameShape, error) {
+	var fs frameShape
+	bad := func(why string) (frameShape, error) {
+		return fs, fmt.Errorf("postproc: %s: prologue does not follow the calling standard: %s", name, why)
+	}
+	if len(code) < 4 {
+		return bad("too short")
+	}
+	if !(code[0].Op == isa.Store && code[0].Ra == isa.SP && code[0].Imm == -1 && code[0].Rb == isa.LR) {
+		return bad("missing return-address save")
+	}
+	if !(code[1].Op == isa.Store && code[1].Ra == isa.SP && code[1].Imm == -2 && code[1].Rb == isa.FP) {
+		return bad("missing parent-FP save")
+	}
+	if !(code[2].Op == isa.Mov && code[2].Rd == isa.FP && code[2].Ra == isa.SP) {
+		return bad("missing FP setup")
+	}
+	if !(code[3].Op == isa.AddI && code[3].Rd == isa.SP && code[3].Ra == isa.FP && code[3].Imm < 0) {
+		return bad("missing frame allocation")
+	}
+	fs.frameSize = -code[3].Imm
+	i := 4
+	for i < len(code) {
+		in := code[i]
+		if in.Op == isa.Store && in.Ra == isa.FP && in.Imm == -int64(3+len(fs.saved)) && isa.CalleeSave(in.Rb) {
+			fs.saved = append(fs.saved, in.Rb)
+			i++
+			continue
+		}
+		break
+	}
+	fs.bodyStart = i
+	return fs, nil
+}
+
+// matchEpilogue locates the epilogue tail:
+//
+//	load r_k, [fp-3-k] ...   (restores, matched backward)
+//	load lr, [fp-1]
+//	mov sp, fp
+//	load fp, [sp-2]
+//	jmpreg lr
+//
+// It returns the index of the first restore (the epilogue entry that Ret
+// branches target) and the index of the "load lr" tail start.
+func matchEpilogue(code []isa.Instr, saved []isa.Reg, name string) (entry, tail int, err error) {
+	n := len(code)
+	if n < 4 {
+		return 0, 0, fmt.Errorf("postproc: %s: no epilogue", name)
+	}
+	t := n - 4
+	ok := code[t].Op == isa.Load && code[t].Rd == isa.LR && code[t].Ra == isa.FP && code[t].Imm == -1 &&
+		code[t+1].Op == isa.Mov && code[t+1].Rd == isa.SP && code[t+1].Ra == isa.FP &&
+		code[t+2].Op == isa.Load && code[t+2].Rd == isa.FP && code[t+2].Ra == isa.SP && code[t+2].Imm == -2 &&
+		code[t+3].Op == isa.JmpReg && code[t+3].Ra == isa.LR
+	if !ok {
+		return 0, 0, fmt.Errorf("postproc: %s: epilogue does not follow the calling standard", name)
+	}
+	e := t - len(saved)
+	if e < 0 {
+		return 0, 0, fmt.Errorf("postproc: %s: epilogue restores truncated", name)
+	}
+	for k, r := range saved {
+		in := code[e+k]
+		if !(in.Op == isa.Load && in.Rd == r && in.Ra == isa.FP && in.Imm == -int64(3+k)) {
+			return 0, 0, fmt.Errorf("postproc: %s: epilogue restore %d does not match prologue save", name, k)
+		}
+	}
+	return e, t, nil
+}
+
+// stripForkBrackets removes the dummy bracket calls (replacing them with
+// no-ops so that no address shifts) and returns the bracketed call sites.
+func stripForkBrackets(code []isa.Instr, name string) ([]int, error) {
+	var forks []int
+	i := 0
+	for i < len(code) {
+		in := code[i]
+		if in.Op == isa.Call && in.Sym == isa.ForkBlockEnd {
+			return nil, fmt.Errorf("postproc: %s: unmatched %s", name, isa.ForkBlockEnd)
+		}
+		if !(in.Op == isa.Call && in.Sym == isa.ForkBlockBegin) {
+			i++
+			continue
+		}
+		if i+2 >= len(code) {
+			return nil, fmt.Errorf("postproc: %s: truncated fork block", name)
+		}
+		callAt := i + 1
+		if code[callAt].Op != isa.Call || code[callAt].Sym == isa.ForkBlockBegin || code[callAt].Sym == isa.ForkBlockEnd {
+			return nil, fmt.Errorf("postproc: %s: fork block does not bracket a single call", name)
+		}
+		if !(code[i+2].Op == isa.Call && code[i+2].Sym == isa.ForkBlockEnd) {
+			return nil, fmt.Errorf("postproc: %s: fork block not closed immediately after the call", name)
+		}
+		code[i] = isa.Instr{Op: isa.Nop}
+		code[i+2] = isa.Instr{Op: isa.Nop}
+		forks = append(forks, callAt)
+		i += 3
+	}
+	return forks, nil
+}
+
+// maxSPStore recomputes the arguments-region size the way the real
+// postprocessor does: the maximum non-negative SP-relative store offset in
+// the procedure, plus one.
+func maxSPStore(code []isa.Instr) int64 {
+	max := int64(-1)
+	for _, in := range code {
+		if in.Op == isa.Store && in.Ra == isa.SP && in.Imm >= 0 && in.Imm > max {
+			max = in.Imm
+		}
+	}
+	return max + 1
+}
+
+// augmentedTail builds the replacement for the four-instruction epilogue
+// tail: the exported-set free check of Section 5.2. On the free path it
+// behaves exactly like the original; on the retain path it keeps SP, zeroes
+// the return-address slot (marking the frame finished for a future shrink),
+// and still restores FP and returns. tailPC is the procedure-relative pc
+// where the tail is placed; branch targets are relative to it.
+//
+// unsafeFreeAtMax replaces the ≥ comparison with >, reclaiming a frame that
+// IS the topmost exported frame — the bug the second Section 5.3 rule
+// prevents.
+func augmentedTail(tailPC int, unsafeFreeAtMax bool) []isa.Instr {
+	retainOp := isa.Bge
+	if unsafeFreeAtMax {
+		retainOp = isa.Bgt
+	}
+	retain := int64(tailPC + 7)
+	return []isa.Instr{
+		// load t7, [wl+maxE]   ; FP of the topmost exported frame
+		{Op: isa.Load, Rd: isa.T7, Ra: isa.WL, Imm: WLSlotMaxE},
+		// bge fp, t7, retain   ; not strictly above the topmost exported frame
+		{Op: retainOp, Ra: isa.FP, Rb: isa.T7, Imm: retain},
+		// blt fp, sp, retain   ; frame is not in this worker's stack
+		{Op: isa.Blt, Ra: isa.FP, Rb: isa.SP, Imm: retain},
+		// free path — identical to the original epilogue tail.
+		{Op: isa.Load, Rd: isa.LR, Ra: isa.FP, Imm: -1},
+		{Op: isa.Mov, Rd: isa.SP, Ra: isa.FP},
+		{Op: isa.Load, Rd: isa.FP, Ra: isa.SP, Imm: -2},
+		{Op: isa.JmpReg, Ra: isa.LR},
+		// retain path — keep SP, zero the return-address slot.
+		{Op: isa.Load, Rd: isa.LR, Ra: isa.FP, Imm: -1},
+		{Op: isa.Const, Rd: isa.T7, Imm: 0},
+		{Op: isa.Store, Ra: isa.FP, Imm: -1, Rb: isa.T7},
+		{Op: isa.Load, Rd: isa.FP, Ra: isa.FP, Imm: -2},
+		{Op: isa.JmpReg, Ra: isa.LR},
+	}
+}
+
+// pureEpilogue builds the replica: restore callee-saves and FP, keep SP,
+// perform nothing else, and return.
+func pureEpilogue(saved []isa.Reg) []isa.Instr {
+	out := make([]isa.Instr, 0, len(saved)+3)
+	for k, r := range saved {
+		out = append(out, isa.Instr{Op: isa.Load, Rd: r, Ra: isa.FP, Imm: -int64(3 + k)})
+	}
+	out = append(out,
+		isa.Instr{Op: isa.Load, Rd: isa.LR, Ra: isa.FP, Imm: -1},
+		isa.Instr{Op: isa.Load, Rd: isa.FP, Ra: isa.FP, Imm: -2},
+		isa.Instr{Op: isa.JmpReg, Ra: isa.LR},
+	)
+	return out
+}
+
+// Process postprocesses one procedure. augment selects whether this
+// procedure's epilogue receives the free check; ProcessAll computes it from
+// the Section 8.1 criteria.
+func process(src *isa.Proc, augment bool, opt Options) (*Processed, error) {
+	p := src.Clone()
+
+	forks, err := stripForkBrackets(p.Code, p.Name)
+	if err != nil {
+		return nil, err
+	}
+
+	shape, err := matchPrologue(p.Code, p.Name)
+	if err != nil {
+		return nil, err
+	}
+	if shape.frameSize != int64(p.FrameSize) || len(shape.saved) != len(p.SavedRegs) {
+		return nil, fmt.Errorf("postproc: %s: prologue shape (frame %d, %d saves) disagrees with compiler metadata (frame %d, %d saves)",
+			p.Name, shape.frameSize, len(shape.saved), p.FrameSize, len(p.SavedRegs))
+	}
+
+	entry, tail, err := matchEpilogue(p.Code, shape.saved, p.Name)
+	if err != nil {
+		return nil, err
+	}
+
+	// No branch may target the epilogue tail interior: the rewrite would
+	// change its meaning. Ret branches target the restore block, which
+	// stays in place.
+	for _, in := range p.Code {
+		switch in.Op {
+		case isa.Jmp, isa.Beq, isa.Bne, isa.Blt, isa.Ble, isa.Bgt, isa.Bge:
+			if in.Imm > int64(tail) {
+				return nil, fmt.Errorf("postproc: %s: branch into epilogue tail", p.Name)
+			}
+		}
+	}
+
+	args := maxSPStore(p.Code)
+
+	if augment {
+		p.Code = append(p.Code[:tail:tail], augmentedTail(tail, opt.UnsafeFreeAtMax)...)
+	}
+	pure := len(p.Code)
+	p.Code = append(p.Code, pureEpilogue(shape.saved)...)
+
+	return &Processed{
+		Proc:          p,
+		RetAddrOff:    -1,
+		ParentFPOff:   -2,
+		PureEpilogue:  pure,
+		MaxSPStore:    args,
+		ForkOffsets:   forks,
+		BodyStart:     shape.bodyStart,
+		EpilogueStart: entry,
+		Augmented:     augment,
+	}, nil
+}
+
+// ProcessAll postprocesses a whole compilation in order, applying the
+// augmentation criteria of Section 8.1 when opt.Augment is set:
+//
+//   - a leaf procedure is not augmented;
+//   - a procedure is not augmented if it only calls procedures already
+//     known to be unaugmented (so control transfers stay strictly LIFO
+//     during its activation);
+//   - any other procedure — in particular one that calls unknown
+//     procedures, builtins (the StackThreads library), or contains fork
+//     points — is augmented.
+func ProcessAll(procs []*isa.Proc, opt Options) ([]*Processed, error) {
+	unaugmented := make(map[string]bool)
+	out := make([]*Processed, 0, len(procs))
+	for _, p := range procs {
+		aug := false
+		if opt.Augment {
+			aug = opt.ForceAugmentAll || !provablyLIFO(p, unaugmented)
+		}
+		pp, err := process(p, aug, opt)
+		if err != nil {
+			return nil, err
+		}
+		if opt.Augment && !aug {
+			unaugmented[p.Name] = true
+		}
+		out = append(out, pp)
+	}
+	return out, nil
+}
+
+// ProcessUnits postprocesses several compilation units, mirroring the real
+// pipeline where the postprocessor runs once per assembly file: the
+// unaugmented set is tracked per unit, so calls to procedures defined in a
+// different unit are calls to unknown procedures and force augmentation.
+// The result is flattened in unit order for Link.
+func ProcessUnits(units [][]*isa.Proc, opt Options) ([]*Processed, error) {
+	var out []*Processed
+	for _, procs := range units {
+		pps, err := ProcessAll(procs, opt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pps...)
+	}
+	return out, nil
+}
+
+// CompileUnits postprocesses per unit and links the result.
+func CompileUnits(units [][]*isa.Proc, opt Options) (*isa.Program, error) {
+	pps, err := ProcessUnits(units, opt)
+	if err != nil {
+		return nil, err
+	}
+	return Link(pps)
+}
+
+// provablyLIFO implements the Section 8.1 criteria for skipping
+// augmentation.
+func provablyLIFO(p *isa.Proc, unaugmented map[string]bool) bool {
+	sawFork := false
+	for _, in := range p.Code {
+		if in.Op == isa.Poll {
+			// A poll point can hand the runtime a steal request, which
+			// suspends this very activation: its frame may be retained, so
+			// the epilogue needs the free check even in a leaf.
+			return false
+		}
+		if in.Op != isa.Call {
+			continue
+		}
+		switch in.Sym {
+		case isa.ForkBlockBegin:
+			sawFork = true
+			continue
+		case isa.ForkBlockEnd:
+			sawFork = false
+			continue
+		}
+		if sawFork {
+			return false // fork point: the callee may outlive this frame
+		}
+		if _, isBuiltin := isa.BuiltinByName(in.Sym); isBuiltin {
+			return false // library procedure: unknown to the criteria
+		}
+		if in.Sym == p.Name {
+			// Direct recursion is LIFO only if the procedure itself ends
+			// up unaugmented, which we are in the middle of deciding;
+			// treat it as unknown (conservative, matches the paper's
+			// "already appeared in the current postprocessing").
+			return false
+		}
+		if !unaugmented[in.Sym] {
+			return false
+		}
+	}
+	return true
+}

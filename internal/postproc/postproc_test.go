@@ -1,0 +1,313 @@
+package postproc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// buildUnit assembles a few representative procedures:
+//
+//	leaf        — pure computation, no calls
+//	caller      — calls leaf only
+//	libuser     — calls a builtin
+//	forker      — forks leaf and passes two arguments
+func buildUnit(t *testing.T) []*isa.Proc {
+	t.Helper()
+	u := asm.NewUnit()
+
+	leaf := u.Proc("leaf", 1, 0)
+	leaf.LoadArg(isa.T0, 0)
+	leaf.AddI(isa.RV, isa.T0, 1)
+	leaf.RetVoid()
+
+	caller := u.Proc("caller", 1, 0)
+	caller.LoadArg(isa.T0, 0)
+	caller.SetArg(0, isa.T0)
+	caller.Call("leaf")
+	caller.Ret(isa.RV)
+
+	libuser := u.Proc("libuser", 0, 0)
+	libuser.Const(isa.T0, 5)
+	libuser.SetArg(0, isa.T0)
+	libuser.Call("libcall")
+	libuser.RetVoid()
+
+	forker := u.Proc("forker", 0, 0)
+	forker.Const(isa.R0, 1)
+	forker.SetArg(0, isa.R0)
+	forker.Const(isa.T0, 2)
+	forker.SetArg(1, isa.T0)
+	forker.Fork("leaf")
+	forker.RetVoid()
+
+	procs, err := u.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return procs
+}
+
+func TestAugmentationCriteria(t *testing.T) {
+	pps, err := ProcessAll(buildUnit(t), Options{Augment: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"leaf":    false, // leaf procedure
+		"caller":  false, // calls only unaugmented procedures
+		"libuser": true,  // calls an unknown (library) procedure
+		"forker":  true,  // contains a fork point
+	}
+	for _, pp := range pps {
+		if pp.Augmented != want[pp.Proc.Name] {
+			t.Errorf("%s: augmented = %v, want %v", pp.Proc.Name, pp.Augmented, want[pp.Proc.Name])
+		}
+	}
+}
+
+func TestForceAugmentAll(t *testing.T) {
+	pps, err := ProcessAll(buildUnit(t), Options{Augment: true, ForceAugmentAll: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pp := range pps {
+		if !pp.Augmented {
+			t.Errorf("%s not augmented under ForceAugmentAll", pp.Proc.Name)
+		}
+	}
+}
+
+func TestNoAugmentWhenDisabled(t *testing.T) {
+	pps, err := ProcessAll(buildUnit(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pp := range pps {
+		if pp.Augmented {
+			t.Errorf("%s augmented with postprocessing disabled", pp.Proc.Name)
+		}
+	}
+}
+
+func TestPerUnitCriteria(t *testing.T) {
+	// The same caller/leaf pair split across units: the cross-unit call
+	// makes caller unknown-calling, hence augmented.
+	u1 := asm.NewUnit()
+	leaf := u1.Proc("leaf", 0, 0)
+	leaf.Const(isa.RV, 1)
+	leaf.RetVoid()
+	u2 := asm.NewUnit()
+	caller := u2.Proc("caller", 0, 0)
+	caller.Call("leaf")
+	caller.Ret(isa.RV)
+	p1, err := u1.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := u2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pps, err := ProcessUnits([][]*isa.Proc{p1, p2}, Options{Augment: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pps[0].Augmented {
+		t.Error("leaf augmented")
+	}
+	if !pps[1].Augmented {
+		t.Error("cross-unit caller not augmented")
+	}
+}
+
+func TestForkStrippingAndForkPoints(t *testing.T) {
+	pps, err := ProcessAll(buildUnit(t), Options{Augment: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var forker *Processed
+	for _, pp := range pps {
+		if pp.Proc.Name == "forker" {
+			forker = pp
+		}
+	}
+	if len(forker.ForkOffsets) != 1 {
+		t.Fatalf("fork offsets = %v", forker.ForkOffsets)
+	}
+	at := forker.ForkOffsets[0]
+	if in := forker.Proc.Code[at]; in.Op != isa.Call || in.Sym != "leaf" {
+		t.Fatalf("fork point instruction = %v", in)
+	}
+	for _, in := range forker.Proc.Code {
+		if in.Op == isa.Call && (in.Sym == isa.ForkBlockBegin || in.Sym == isa.ForkBlockEnd) {
+			t.Fatal("bracket calls survived postprocessing")
+		}
+	}
+	// The brackets become no-ops so no address shifts.
+	if forker.Proc.Code[at-1].Op != isa.Nop || forker.Proc.Code[at+1].Op != isa.Nop {
+		t.Fatal("brackets not replaced by no-ops")
+	}
+}
+
+func TestMaxSPStore(t *testing.T) {
+	pps, err := ProcessAll(buildUnit(t), Options{Augment: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pp := range pps {
+		// The postprocessor's recomputation must match the compiler's.
+		if pp.MaxSPStore != int64(pp.Proc.MaxArgsOut) {
+			t.Errorf("%s: MaxSPStore %d != compiler MaxArgsOut %d",
+				pp.Proc.Name, pp.MaxSPStore, pp.Proc.MaxArgsOut)
+		}
+	}
+}
+
+func TestPureEpilogueIsPure(t *testing.T) {
+	pps, err := ProcessAll(buildUnit(t), Options{Augment: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pp := range pps {
+		code := pp.Proc.Code[pp.PureEpilogue:]
+		if code[len(code)-1].Op != isa.JmpReg {
+			t.Fatalf("%s: pure epilogue does not end in jmpreg", pp.Proc.Name)
+		}
+		for _, in := range code[:len(code)-1] {
+			if in.Op != isa.Load {
+				t.Fatalf("%s: impure instruction %v in replica", pp.Proc.Name, in)
+			}
+			if in.Rd == isa.SP {
+				t.Fatalf("%s: replica writes SP", pp.Proc.Name)
+			}
+		}
+	}
+}
+
+func TestAugmentedEpilogueShape(t *testing.T) {
+	pps, err := ProcessAll(buildUnit(t), Options{Augment: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pp := range pps {
+		if !pp.Augmented {
+			continue
+		}
+		// Between EpilogueStart and PureEpilogue there must be exactly one
+		// SP-freeing move (the free path) and one return-address zeroing
+		// store (the retain path).
+		frees, zeroes := 0, 0
+		for _, in := range pp.Proc.Code[pp.EpilogueStart:pp.PureEpilogue] {
+			if in.Op == isa.Mov && in.Rd == isa.SP && in.Ra == isa.FP {
+				frees++
+			}
+			if in.Op == isa.Store && in.Ra == isa.FP && in.Imm == -1 {
+				zeroes++
+			}
+		}
+		if frees != 1 || zeroes != 1 {
+			t.Errorf("%s: augmented epilogue has %d frees, %d retain-marks", pp.Proc.Name, frees, zeroes)
+		}
+	}
+}
+
+func TestLinkResolvesAndGlobalizes(t *testing.T) {
+	prog, err := Compile(buildUnit(t), Options{Augment: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.EntryOf) != 4 {
+		t.Fatalf("EntryOf = %v", prog.EntryOf)
+	}
+	for pc, in := range prog.Code {
+		switch in.Op {
+		case isa.Call:
+			if in.Imm >= int64(len(prog.Code)) {
+				t.Fatalf("pc %d: call target %d out of program", pc, in.Imm)
+			}
+			if in.Imm >= 0 {
+				if d := prog.DescFor(in.Imm); d == nil || d.Entry != in.Imm {
+					t.Fatalf("pc %d: call into mid-procedure %d", pc, in.Imm)
+				}
+			}
+		case isa.Jmp, isa.Beq, isa.Bne, isa.Blt, isa.Ble, isa.Bgt, isa.Bge:
+			d := prog.DescFor(int64(pc))
+			if in.Imm < d.Entry || in.Imm >= d.End {
+				t.Fatalf("pc %d: branch escapes its procedure", pc)
+			}
+		}
+	}
+	// Descriptor sanity.
+	for _, d := range prog.Descs {
+		if d.RetAddrOff != -1 || d.ParentFPOff != -2 {
+			t.Fatalf("%s: slot offsets %d/%d", d.Name, d.RetAddrOff, d.ParentFPOff)
+		}
+		if !(d.Entry < d.BodyStart && d.BodyStart <= d.EpilogueStart && d.EpilogueStart < d.PureEpilogue && d.PureEpilogue < d.End) {
+			t.Fatalf("%s: region order entry=%d body=%d epi=%d pure=%d end=%d",
+				d.Name, d.Entry, d.BodyStart, d.EpilogueStart, d.PureEpilogue, d.End)
+		}
+	}
+	if prog.MaxArgsOut != 2 {
+		t.Fatalf("MaxArgsOut = %d, want 2 (forker)", prog.MaxArgsOut)
+	}
+}
+
+func TestLinkErrors(t *testing.T) {
+	u := asm.NewUnit()
+	p := u.Proc("p", 0, 0)
+	p.Call("missing")
+	p.RetVoid()
+	procs, err := u.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(procs, Options{}); err == nil || !strings.Contains(err.Error(), "undefined symbol") {
+		t.Fatalf("err = %v", err)
+	}
+
+	u2 := asm.NewUnit()
+	q := u2.Proc("lock", 0, 0) // shadows a builtin
+	q.RetVoid()
+	procs2, err := u2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(procs2, Options{}); err == nil || !strings.Contains(err.Error(), "shadows a builtin") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMalformedForkBlocks(t *testing.T) {
+	mk := func(f func(*asm.B)) []*isa.Proc {
+		u := asm.NewUnit()
+		b := u.Proc("p", 0, 0)
+		f(b)
+		b.RetVoid()
+		procs, err := u.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return procs
+	}
+	cases := map[string]func(*asm.B){
+		"unmatched end": func(b *asm.B) {
+			b.Call(isa.ForkBlockEnd)
+		},
+		"unclosed begin": func(b *asm.B) {
+			b.Call(isa.ForkBlockBegin)
+			b.Call("x")
+		},
+		"no call inside": func(b *asm.B) {
+			b.Call(isa.ForkBlockBegin)
+			b.Call(isa.ForkBlockEnd)
+		},
+	}
+	for name, f := range cases {
+		if _, err := ProcessAll(mk(f), Options{Augment: true}); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package sched
+
+import (
+	"fmt"
+	"io"
+)
+
+// TraceKind classifies a scheduling event.
+type TraceKind int
+
+// Scheduling event kinds.
+const (
+	// TraceRequest: a thief posted a steal request to a victim's port.
+	TraceRequest TraceKind = iota
+	// TraceSteal: a victim handed a thread over (From = victim, Worker =
+	// thief).
+	TraceSteal
+	// TraceReject: a victim had nothing to give.
+	TraceReject
+	// TraceIdle: a worker ran out of local work.
+	TraceIdle
+	// TraceResume: a worker popped its own ready queue at the bottom.
+	TraceResume
+	// TraceHalt: the program finished on this worker.
+	TraceHalt
+)
+
+func (k TraceKind) String() string {
+	switch k {
+	case TraceRequest:
+		return "request"
+	case TraceSteal:
+		return "steal"
+	case TraceReject:
+		return "reject"
+	case TraceIdle:
+		return "idle"
+	case TraceResume:
+		return "resume"
+	case TraceHalt:
+		return "halt"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// TraceEvent is one timestamped scheduling event in virtual time.
+type TraceEvent struct {
+	Time   int64
+	Kind   TraceKind
+	Worker int
+	// From is the other party (the victim for request/steal/reject), -1
+	// when not applicable.
+	From int
+}
+
+// EventLog collects the migration-level history of a run when attached to
+// Config.Events. The log is in virtual-time order per worker; Sorted
+// returns a globally ordered copy.
+type EventLog struct {
+	Events []TraceEvent
+}
+
+func (l *EventLog) add(e TraceEvent) {
+	if l != nil {
+		l.Events = append(l.Events, e)
+	}
+}
+
+// Dump writes the log as a table.
+func (l *EventLog) Dump(w io.Writer) {
+	fmt.Fprintf(w, "%12s %8s %7s %6s\n", "vtime", "kind", "worker", "from")
+	for _, e := range l.Events {
+		from := "-"
+		if e.From >= 0 {
+			from = fmt.Sprintf("w%d", e.From)
+		}
+		fmt.Fprintf(w, "%12d %8s %6s  %6s\n", e.Time, e.Kind, fmt.Sprintf("w%d", e.Worker), from)
+	}
+}
+
+// Counts summarizes the log by kind.
+func (l *EventLog) Counts() map[TraceKind]int {
+	out := make(map[TraceKind]int)
+	for _, e := range l.Events {
+		out[e.Kind]++
+	}
+	return out
+}

@@ -1,0 +1,422 @@
+// Package sched is the shared-memory multiprocessor runtime: it drives a
+// machine's workers in deterministic virtual time (a discrete-event
+// simulation standing in for the paper's 64-CPU Enterprise 10000) and
+// implements the two scheduling regimes of the evaluation:
+//
+//   - StackThreads/MP (Section 4): idle workers post steal requests through
+//     per-worker request ports; victims notice them at poll points and run
+//     the migration protocol of Figures 9/10/12 — suspend the threads above
+//     the bottom one, detach the bottom thread, hand it to the requester,
+//     and restart the rest. Lazy Task Creation order: readyq tail first,
+//     then the logical stack bottom.
+//
+//   - Cilk (the comparison baseline): thieves take the oldest outstanding
+//     fork continuation directly (THE protocol analogue), with Cilk's cost
+//     model (per-spawn explicit frame maintenance pre-paid; no poll points,
+//     no epilogue checks).
+//
+// Workers advance on private virtual clocks; the scheduler always runs the
+// least-advanced runnable worker, so every run with the same seed is
+// reproducible regardless of host parallelism.
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/isa"
+	"repro/internal/machine"
+)
+
+// Mode selects the scheduling regime.
+type Mode int
+
+// Scheduling regimes.
+const (
+	// ModeST is StackThreads/MP: polling victims, LTC policy.
+	ModeST Mode = iota
+	// ModeCilk is the Cilk-5 baseline: thief-driven steals, Cilk costs.
+	ModeCilk
+)
+
+func (m Mode) String() string {
+	if m == ModeCilk {
+		return "cilk"
+	}
+	return "st"
+}
+
+// Policy selects which thread a victim gives away (ST mode only).
+type Policy int
+
+// Steal policies.
+const (
+	// StealOldest is Lazy Task Creation (Section 4.2): readyq tail first,
+	// then the thread at the bottom of the logical stack.
+	StealOldest Policy = iota
+	// StealYoungest is the ablation: readyq head first, then the thread at
+	// the top of the logical stack. It ships less work per steal, so it
+	// needs many more steals for the same speedup.
+	StealYoungest
+)
+
+// Config tunes the scheduler.
+type Config struct {
+	Mode   Mode
+	Policy Policy
+	// Quantum is the slice, in cycles, a worker runs before the scheduler
+	// re-picks (default 200).
+	Quantum int64
+	// Seed drives deterministic victim selection.
+	Seed uint64
+	// MaxCycles aborts runaway simulations (default 50 billion).
+	MaxCycles int64
+	// Events, when non-nil, collects the run's migration-level history.
+	Events *EventLog
+}
+
+// Result summarizes one parallel run.
+type Result struct {
+	RV int64
+	// Time is the virtual time at which the program halted — the elapsed
+	// time analogue for speedup curves.
+	Time int64
+	// WorkCycles is the sum of all workers' cycle counters at halt
+	// (total work, including idle spinning).
+	WorkCycles int64
+	Steals     int64
+	Attempts   int64
+	Rejects    int64
+	Stats      []machine.Stats
+}
+
+type wStatus int
+
+const (
+	running wStatus = iota
+	idle            // nothing to run; will attempt a steal at wakeAt
+	waiting         // ST mode: posted a request, waiting for the reply
+	halted
+)
+
+type stealReq struct {
+	thief int
+}
+
+type scheduler struct {
+	m   *machine.Machine
+	cfg Config
+	rng uint64
+
+	status []wStatus
+	wakeAt []int64     // for idle workers
+	reqs   []*stealReq // pending request per victim
+
+	res Result
+}
+
+// Run executes entry(args...) across all of m's workers under cfg.
+func Run(m *machine.Machine, entry string, args []int64, cfg Config) (*Result, error) {
+	if cfg.Quantum <= 0 {
+		cfg.Quantum = 200
+	}
+	if cfg.MaxCycles <= 0 {
+		cfg.MaxCycles = 50_000_000_000
+	}
+	entryPC, ok := m.Prog.EntryOf[entry]
+	if !ok {
+		return nil, fmt.Errorf("sched: no procedure %q", entry)
+	}
+	n := len(m.Workers)
+	s := &scheduler{
+		m:      m,
+		cfg:    cfg,
+		rng:    cfg.Seed*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03 | 1,
+		status: make([]wStatus, n),
+		wakeAt: make([]int64, n),
+		reqs:   make([]*stealReq, n),
+	}
+	for i := 1; i < n; i++ {
+		s.status[i] = idle
+	}
+	m.Workers[0].StartCall(entryPC, args)
+
+	err := s.protectedLoop()
+	if err != nil {
+		return nil, err
+	}
+	for _, w := range m.Workers {
+		s.res.WorkCycles += w.Cycles
+		s.res.Stats = append(s.res.Stats, w.Stats)
+	}
+	return &s.res, nil
+}
+
+// next returns the index of the worker with the earliest next-action time,
+// or -1 when no worker can act.
+func (s *scheduler) next() int {
+	best, bestT := -1, int64(math.MaxInt64)
+	for i := range s.status {
+		var t int64
+		switch s.status[i] {
+		case running:
+			t = s.m.Workers[i].Cycles
+		case idle:
+			t = s.wakeAt[i]
+		default:
+			continue
+		}
+		if t < bestT {
+			best, bestT = i, t
+		}
+	}
+	return best
+}
+
+// protectedLoop converts runtime faults raised by scheduler-driven machine
+// operations (suspend/restart/shrink outside a worker's own Run) into
+// errors, like Worker.Run does for faults in simulated code.
+func (s *scheduler) protectedLoop() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				err = e
+				return
+			}
+			panic(r)
+		}
+	}()
+	return s.loop()
+}
+
+func (s *scheduler) loop() error {
+	for {
+		i := s.next()
+		if i < 0 {
+			return fmt.Errorf("sched: deadlock: no runnable worker (all waiting)")
+		}
+		w := s.m.Workers[i]
+		if w.Cycles > s.cfg.MaxCycles {
+			return fmt.Errorf("sched: exceeded MaxCycles=%d", s.cfg.MaxCycles)
+		}
+
+		if s.status[i] == idle {
+			if w.Cycles < s.wakeAt[i] {
+				w.Cycles = s.wakeAt[i]
+			}
+			s.attemptSteal(i)
+			if done, err := s.quiescent(); done {
+				return err
+			}
+			continue
+		}
+
+		switch ev := w.Run(s.cfg.Quantum); ev {
+		case machine.EvBudget:
+			// slice over; reschedule
+		case machine.EvHalt:
+			s.res.RV = w.Regs[isa.RV]
+			s.res.Time = w.Cycles
+			s.status[i] = halted
+			s.cfg.Events.add(TraceEvent{Time: w.Cycles, Kind: TraceHalt, Worker: i, From: -1})
+			return nil
+		case machine.EvBottom:
+			w.Shrink()
+			if c := w.ReadyQ.PopHead(); c != nil {
+				s.cfg.Events.add(TraceEvent{Time: w.Cycles, Kind: TraceResume, Worker: i, From: -1})
+				w.StartThread(c)
+				continue
+			}
+			s.cfg.Events.add(TraceEvent{Time: w.Cycles, Kind: TraceIdle, Worker: i, From: -1})
+			s.goIdle(i, w.Cycles)
+			if done, err := s.quiescent(); done {
+				return err
+			}
+		case machine.EvPoll:
+			s.servicePoll(i)
+		case machine.EvBlocked:
+			// Spin on the contended lock; virtual time passes so the
+			// holder gets scheduled.
+			w.Cycles += 8
+		case machine.EvTrap:
+			return w.Err
+		default:
+			return fmt.Errorf("sched: unexpected event %v from worker %d", ev, i)
+		}
+	}
+}
+
+func (s *scheduler) goIdle(i int, at int64) {
+	s.status[i] = idle
+	s.wakeAt[i] = at
+	// A worker going idle can no longer answer its request port; reject the
+	// pending request so the thief does not wait forever.
+	if req := s.reqs[i]; req != nil {
+		s.reqs[i] = nil
+		s.m.Workers[i].PollSignal = false
+		s.res.Rejects++
+		thief := s.m.Workers[req.thief]
+		if thief.Cycles < at {
+			thief.Cycles = at
+		}
+		s.goIdle(req.thief, thief.Cycles)
+	}
+}
+
+// quiescent reports whether no work remains anywhere: every worker idle or
+// waiting with empty stacks and ready queues. That state is a deadlock —
+// the program blocked without halting.
+func (s *scheduler) quiescent() (bool, error) {
+	for i, w := range s.m.Workers {
+		if s.status[i] == running {
+			return false, nil
+		}
+		if w.FP() != 0 || !w.ReadyQ.Empty() {
+			return false, nil
+		}
+	}
+	return true, fmt.Errorf("sched: deadlock: all workers idle with no ready work")
+}
+
+// nextRand steps the scheduler's deterministic generator.
+func (s *scheduler) nextRand() uint64 {
+	x := s.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	s.rng = x
+	return x
+}
+
+// attemptSteal runs one steal attempt for idle worker i at its current
+// virtual time.
+func (s *scheduler) attemptSteal(i int) {
+	s.res.Attempts++
+	if s.cfg.Mode == ModeCilk {
+		s.attemptStealCilk(i)
+		return
+	}
+	w := s.m.Workers[i]
+	retry := func() {
+		s.wakeAt[i] = w.Cycles + s.m.Cost.StealHandshake
+	}
+	// Probe for a victim that visibly has work (a non-empty logical stack
+	// or ready queue) and a free request port — reading another worker's
+	// state words is an ordinary shared-memory load.
+	n := len(s.m.Workers)
+	if n < 2 {
+		retry()
+		return
+	}
+	start := int(s.nextRand() % uint64(n))
+	v := -1
+	for k := 0; k < n; k++ {
+		cand := (start + k) % n
+		if cand == i {
+			continue
+		}
+		w.Cycles += 2 // probe load
+		cw := s.m.Workers[cand]
+		if s.reqs[cand] == nil && s.status[cand] == running &&
+			(cw.FP() != 0 || !cw.ReadyQ.Empty()) {
+			v = cand
+			break
+		}
+	}
+	if v < 0 {
+		retry()
+		return
+	}
+	vw := s.m.Workers[v]
+	// Post the request; the victim sees it at its next poll point.
+	s.reqs[v] = &stealReq{thief: i}
+	vw.PollSignal = true
+	s.status[i] = waiting
+	w.Cycles += s.m.Cost.StealHandshake
+	s.cfg.Events.add(TraceEvent{Time: w.Cycles, Kind: TraceRequest, Worker: i, From: v})
+}
+
+// servicePoll handles a victim noticing its request port (Figure 10's
+// check_steal_request, run by the runtime).
+func (s *scheduler) servicePoll(v int) {
+	vw := s.m.Workers[v]
+	vw.PollSignal = false
+	req := s.reqs[v]
+	if req == nil {
+		return
+	}
+	s.reqs[v] = nil
+	vw.Shrink()
+
+	var reply *machine.Context
+	if s.cfg.Policy == StealYoungest {
+		if c := vw.ReadyQ.PopHead(); c != nil {
+			reply = c
+			vw.Cycles += s.m.Cost.StealHandshake / 2
+		} else if vw.CountThreads() >= 2 {
+			// Detach just the topmost thread and hand it over.
+			reply = vw.SuspendCurrent(vw.PC, 1)
+		} else {
+			s.res.Rejects++
+		}
+	} else if c := vw.ReadyQ.PopTail(); c != nil {
+		// LTC: give the task at the tail of readyq (Figure 12).
+		reply = c
+		vw.Cycles += s.m.Cost.StealHandshake / 2
+	} else if n := vw.CountThreads(); n >= 2 {
+		// Give the thread at the bottom of the logical stack: detach the
+		// n-1 threads above it, then the bottom thread itself, and push
+		// the unwound threads back (Figure 9).
+		vw.Cycles += int64(n) * 3 // stack scan
+		above := vw.SuspendCurrent(vw.PC, n-1)
+		bottom := vw.SuspendAllCurrent(vw.PC)
+		vw.StartThread(above)
+		reply = bottom
+	} else {
+		s.res.Rejects++
+	}
+
+	thief := s.m.Workers[req.thief]
+	at := vw.Cycles + s.m.Cost.StealHandshake
+	if thief.Cycles < at {
+		thief.Cycles = at
+	}
+	if reply != nil {
+		s.res.Steals++
+		s.cfg.Events.add(TraceEvent{Time: thief.Cycles, Kind: TraceSteal, Worker: req.thief, From: v})
+		thief.StartThread(reply)
+		s.status[req.thief] = running
+	} else {
+		s.cfg.Events.add(TraceEvent{Time: thief.Cycles, Kind: TraceReject, Worker: req.thief, From: v})
+		s.goIdle(req.thief, thief.Cycles)
+	}
+}
+
+// attemptStealCilk performs a thief-driven Cilk steal: scan victims in
+// random order and take the readyq tail or the oldest fork continuation.
+func (s *scheduler) attemptStealCilk(i int) {
+	w := s.m.Workers[i]
+	n := len(s.m.Workers)
+	start := int(s.nextRand() % uint64(n))
+	for k := 0; k < n; k++ {
+		v := (start + k) % n
+		if v == i {
+			continue
+		}
+		vw := s.m.Workers[v]
+		var c *machine.Context
+		if c = vw.ReadyQ.PopTail(); c == nil {
+			c = vw.StealOldestCilk()
+		}
+		if c != nil {
+			s.res.Steals++
+			w.Cycles += s.m.Cost.CilkStealCost
+			s.cfg.Events.add(TraceEvent{Time: w.Cycles, Kind: TraceSteal, Worker: i, From: v})
+			w.StartThread(c)
+			s.status[i] = running
+			return
+		}
+	}
+	w.Cycles += s.m.Cost.StealHandshake / 4
+	s.wakeAt[i] = w.Cycles + s.m.Cost.StealHandshake
+}

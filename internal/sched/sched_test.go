@@ -1,0 +1,103 @@
+package sched_test
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/sched"
+)
+
+// runParallel compiles and runs a workload on n workers.
+func runParallel(t *testing.T, w *apps.Workload, n int, mode sched.Mode, seed uint64) (*sched.Result, *machine.Machine) {
+	t.Helper()
+	prog, err := w.Compile()
+	if err != nil {
+		t.Fatalf("compile %s: %v", w.Name, err)
+	}
+	heap := w.HeapWords
+	if heap == 0 {
+		heap = 1 << 16
+	}
+	m := machine.New(prog, mem.New(heap), isa.SPARC(), n, machine.Options{
+		StackWords:      1 << 18,
+		CheckInvariants: true,
+		CilkCost:        mode == sched.ModeCilk,
+		Seed:            seed,
+	})
+	args := w.Args
+	if w.Setup != nil {
+		args, err = w.Setup(m.Mem)
+		if err != nil {
+			t.Fatalf("setup %s: %v", w.Name, err)
+		}
+	}
+	res, err := sched.Run(m, w.Entry, args, sched.Config{Mode: mode, Seed: seed})
+	if err != nil {
+		t.Fatalf("run %s on %d workers (%v): %v", w.Name, n, mode, err)
+	}
+	if w.Verify != nil {
+		if err := w.Verify(m.Mem, res.RV); err != nil {
+			t.Fatalf("verify %s on %d workers (%v): %v", w.Name, n, mode, err)
+		}
+	}
+	return res, m
+}
+
+func TestFibParallelST(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8} {
+		res, _ := runParallel(t, apps.Fib(16, apps.ST), n, sched.ModeST, 1)
+		if res.RV != 987 {
+			t.Fatalf("fib(16) on %d workers = %d, want 987", n, res.RV)
+		}
+		t.Logf("workers=%d time=%d steals=%d attempts=%d rejects=%d",
+			n, res.Time, res.Steals, res.Attempts, res.Rejects)
+		if n >= 2 && res.Steals == 0 {
+			t.Errorf("no steals on %d workers", n)
+		}
+	}
+}
+
+func TestFibParallelCilk(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8} {
+		res, _ := runParallel(t, apps.Fib(16, apps.ST), n, sched.ModeCilk, 1)
+		if res.RV != 987 {
+			t.Fatalf("fib(16) cilk on %d workers = %d, want 987", n, res.RV)
+		}
+		t.Logf("cilk workers=%d time=%d steals=%d", n, res.Time, res.Steals)
+		if n >= 2 && res.Steals == 0 {
+			t.Errorf("no steals on %d workers", n)
+		}
+	}
+}
+
+func TestFibSpeedupST(t *testing.T) {
+	r1, _ := runParallel(t, apps.Fib(20, apps.ST), 1, sched.ModeST, 7)
+	r8, _ := runParallel(t, apps.Fib(20, apps.ST), 8, sched.ModeST, 7)
+	speedup := float64(r1.Time) / float64(r8.Time)
+	t.Logf("fib(20): T1=%d T8=%d speedup=%.2f", r1.Time, r8.Time, speedup)
+	if speedup < 3 {
+		t.Errorf("speedup on 8 workers = %.2f, want >= 3", speedup)
+	}
+}
+
+func TestPingPongParallel(t *testing.T) {
+	for _, mode := range []sched.Mode{sched.ModeST, sched.ModeCilk} {
+		for _, n := range []int{1, 2, 4} {
+			res, _ := runParallel(t, apps.PingPong(40, apps.ST), n, mode, 3)
+			if res.RV != 42 {
+				t.Fatalf("pingpong %v on %d workers = %d", mode, n, res.RV)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := runParallel(t, apps.Fib(17, apps.ST), 4, sched.ModeST, 42)
+	b, _ := runParallel(t, apps.Fib(17, apps.ST), 4, sched.ModeST, 42)
+	if a.Time != b.Time || a.Steals != b.Steals {
+		t.Fatalf("same seed diverged: (%d,%d) vs (%d,%d)", a.Time, a.Steals, b.Time, b.Steals)
+	}
+}

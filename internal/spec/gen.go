@@ -1,0 +1,210 @@
+package spec
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// Options selects the code-generation knobs that differ between the
+// settings of Figures 17-20 and affect the *generated code* (as opposed to
+// runtime cost flags, which live in machine.Options).
+type Options struct {
+	// Inline expands inlinable leaf calls in place (off under "st").
+	Inline bool
+	// TLSReserved models reserving a register for worker-local storage:
+	// register-hungry bodies spill once more per activation.
+	TLSReserved bool
+}
+
+// smallLeafSeq is the computation of the shared inlinable leaf,
+// f(x) = (((x+7)*3) xor (x>>2)) + 13, emitted either as a procedure or
+// inline. Both emissions perform identical arithmetic so the program result
+// is setting-independent; only the calling overhead differs.
+func smallLeafSeq(b *asm.B, dst, x isa.Reg) {
+	b.AddI(isa.T5, x, 7)
+	b.MulI(isa.T5, isa.T5, 3)
+	b.Const(isa.T6, 2)
+	b.Shr(isa.T6, x, isa.T6)
+	b.Xor(isa.T5, isa.T5, isa.T6)
+	b.AddI(dst, isa.T5, 13)
+}
+
+type genRand uint64
+
+func newGenRand(name string) *genRand {
+	h := uint64(14695981039346656037)
+	for _, c := range name {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	r := genRand(h | 1)
+	return &r
+}
+
+func (r *genRand) next() uint64 {
+	x := uint64(*r)
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*r = genRand(x)
+	return x
+}
+
+func (r *genRand) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func (r *genRand) frac() float64 { return float64(r.next()%1000) / 1000 }
+
+// emitWork emits n deterministic ALU/load instructions accumulating into
+// R0 (a callee-save register, so every body participates in the save and
+// restore traffic the settings differ on).
+func emitWork(b *asm.B, r *genRand, n int) {
+	for i := 0; i < n; i++ {
+		switch r.intn(10) {
+		case 0, 1:
+			b.MulI(isa.R0, isa.R0, 3)
+		case 2:
+			b.Const(isa.T1, int64(r.intn(64)))
+			b.Xor(isa.R0, isa.R0, isa.T1)
+		case 3:
+			b.Const(isa.T1, 1)
+			b.Shl(isa.T0, isa.R0, isa.T1)
+			b.Add(isa.R0, isa.R0, isa.T0)
+		case 4:
+			b.LoadArg(isa.T0, 0)
+			b.Add(isa.R0, isa.R0, isa.T0)
+		default:
+			b.AddI(isa.R0, isa.R0, int64(1+r.intn(9)))
+		}
+	}
+	// Keep values bounded so results stay deterministic and comparable.
+	b.Const(isa.T1, (1<<40)-1)
+	b.And(isa.R0, isa.R0, isa.T1)
+}
+
+// Generate builds the synthetic benchmark for profile p under opt. The
+// result is a sequential workload whose entry procedure is "main" and whose
+// return value is a checksum independent of the code-generation options.
+func Generate(p Profile, opt Options) *apps.Workload {
+	u := asm.NewUnit()
+	r := newGenRand(p.Name)
+
+	procName := func(layer, idx int) string { return fmt.Sprintf("p_%d_%d", layer, idx) }
+
+	// The shared inlinable leaf.
+	sl := u.Proc("small_leaf", 1, 0)
+	sl.LoadArg(isa.T0, 0)
+	smallLeafSeq(sl, isa.RV, isa.T0)
+	sl.RetVoid()
+
+	// Build bottom-up so the postprocessor's unaugmented-set criteria see
+	// callees before callers, as the paper's postprocessor does within a
+	// compilation.
+	for layer := p.Layers - 1; layer >= 0; layer-- {
+		for idx := 0; idx < p.ProcsPerLayer; idx++ {
+			leaf := layer == p.Layers-1
+			locals := 0
+			if p.Pressure {
+				locals = 2
+			}
+			b := u.Proc(procName(layer, idx), 1, locals)
+			b.LoadArg(isa.R0, 0) // seed/accumulator
+
+			if p.Pressure && opt.TLSReserved {
+				// One register short: a value-neutral spill and reload.
+				b.StoreLocal(0, isa.R0)
+				b.LoadLocal(isa.R0, 0)
+			}
+
+			if leaf {
+				loop := b.NewLabel()
+				done := b.NewLabel()
+				b.Const(isa.R1, int64(p.WorkLoop))
+				b.Bind(loop)
+				b.BleI(isa.R1, 0, done)
+				emitWork(b, r, p.WorkALU)
+				b.AddI(isa.R1, isa.R1, -1)
+				b.Jmp(loop)
+				b.Bind(done)
+				b.Ret(isa.R0)
+				continue
+			}
+
+			emitWork(b, r, p.WorkALU)
+			for c := 0; c < p.CallsPerProc; c++ {
+				if r.frac() < p.InlinableFrac {
+					// An inlinable leaf call site.
+					if opt.Inline {
+						smallLeafSeq(b, isa.T0, isa.R0)
+						b.Add(isa.R0, isa.R0, isa.T0)
+					} else {
+						b.SetArg(0, isa.R0)
+						b.Call("small_leaf")
+						b.Add(isa.R0, isa.R0, isa.RV)
+					}
+					continue
+				}
+				callee := procName(layer+1, r.intn(p.ProcsPerLayer))
+				b.SetArg(0, isa.R0)
+				b.Call(callee)
+				b.Add(isa.R0, isa.R0, isa.RV)
+			}
+			for lc := 0; lc < p.LibCallsPerProc; lc++ {
+				b.Const(isa.T0, p.LibUnits)
+				b.SetArg(0, isa.T0)
+				b.Call("libcall")
+			}
+			if p.Pressure && opt.TLSReserved {
+				b.StoreLocal(1, isa.R0)
+				b.LoadLocal(isa.R0, 1)
+			}
+			b.Ret(isa.R0)
+		}
+	}
+
+	// Driver: iterate over the roots.
+	m := u.Proc("main", 1, 0)
+	loop := m.NewLabel()
+	done := m.NewLabel()
+	m.LoadArg(isa.R1, 0) // iterations
+	m.Const(isa.R0, 1)   // running checksum
+	m.Bind(loop)
+	m.BleI(isa.R1, 0, done)
+	for idx := 0; idx < p.ProcsPerLayer; idx++ {
+		m.SetArg(0, isa.R0)
+		m.Call(procName(0, idx))
+		m.Mov(isa.R0, isa.RV)
+	}
+	m.Const(isa.T1, (1<<40)-1)
+	m.And(isa.R0, isa.R0, isa.T1)
+	m.AddI(isa.R1, isa.R1, -1)
+	m.Jmp(loop)
+	m.Bind(done)
+	m.Ret(isa.R0)
+
+	procs := u.MustBuild()
+
+	// Partition into compilation units the way a multi-file build would:
+	// procedures land in files round-robin, so callers routinely call
+	// procedures the postprocessor has not seen in their unit — forcing
+	// augmentation exactly as cross-file calls do in real programs.
+	nu := p.Units
+	if nu < 1 {
+		nu = 1
+	}
+	units := make([][]*isa.Proc, nu)
+	for i, pr := range procs {
+		units[i%nu] = append(units[i%nu], pr)
+	}
+
+	return &apps.Workload{
+		Name:    "spec-" + p.Name,
+		Variant: apps.Seq,
+		Procs:   procs,
+		Units:   units,
+		Entry:   "main",
+		Args:    []int64{p.Iterations},
+	}
+}

@@ -1,0 +1,107 @@
+// Package spec reproduces the sequential-overhead experiments of Section
+// 8.1 (Figures 17-20). The original measured SPEC int 95 binaries under
+// per-platform code-generation settings; SPEC sources are licensed, so this
+// package substitutes synthetic workloads whose *structure* — call density,
+// call-graph depth, leaf fraction, library-call intensity, loop work —
+// mirrors each benchmark's published character. The substituted programs
+// run through the real postprocessor, so the augmentation criteria, the
+// per-setting code-generation deltas and the epilogue-check costs are all
+// genuinely exercised (see DESIGN.md, substitution table).
+package spec
+
+// Profile describes one synthetic SPEC benchmark's shape.
+type Profile struct {
+	Name string
+	// Layers and ProcsPerLayer define the call-graph DAG: procedures in
+	// layer L call procedures in layer L+1; the last layer is leaves.
+	Layers        int
+	ProcsPerLayer int
+	// CallsPerProc is the number of calls a non-leaf body makes.
+	CallsPerProc int
+	// WorkALU is the straight-line ALU work per body; WorkLoop multiplies
+	// the leaf bodies' inner loop.
+	WorkALU  int
+	WorkLoop int
+	// LibCallsPerProc adds library calls (thread-safe under the "+thread"
+	// settings) to that many of each body's call slots; LibUnits is each
+	// call's base cost.
+	LibCallsPerProc int
+	LibUnits        int64
+	// InlinableFrac is the fraction of leaf call sites the compiler would
+	// inline (disabled under the "st" setting).
+	InlinableFrac float64
+	// Pressure marks register-hungry bodies that spill once more when the
+	// worker-local-storage register is reserved (Section 7's TLS register).
+	Pressure bool
+	// Iterations is the driver's repetition count.
+	Iterations int64
+	// Units is the number of compilation units the procedures spread over
+	// (cross-unit calls defeat the unaugmented-set criteria, like calls to
+	// other .c files do in real builds).
+	Units int
+}
+
+// Profiles returns the eight SPEC int 95 stand-ins in figure order:
+// gcc, m88ksim, li, ijpeg, perl, vortex, go, compress.
+func Profiles() []Profile {
+	return []Profile{
+		{
+			// gcc: huge, call-rich, allocation-heavy compiler.
+			Name: "gcc", Layers: 5, ProcsPerLayer: 6, CallsPerProc: 3,
+			WorkALU: 10, WorkLoop: 4, LibCallsPerProc: 2, LibUnits: 20,
+			InlinableFrac: 0.10, Pressure: true, Iterations: 40, Units: 6,
+		},
+		{
+			// m88ksim: CPU simulator — a big dispatch loop, moderate calls.
+			Name: "m88ksim", Layers: 3, ProcsPerLayer: 4, CallsPerProc: 2,
+			WorkALU: 30, WorkLoop: 12, LibCallsPerProc: 0, LibUnits: 0,
+			InlinableFrac: 0.10, Pressure: false, Iterations: 150, Units: 2,
+		},
+		{
+			// li: lisp interpreter — tiny procedures, extreme call density.
+			Name: "li", Layers: 6, ProcsPerLayer: 5, CallsPerProc: 3,
+			WorkALU: 4, WorkLoop: 1, LibCallsPerProc: 0, LibUnits: 0,
+			InlinableFrac: 0.12, Pressure: false, Iterations: 60, Units: 3,
+		},
+		{
+			// ijpeg: image codec — loop and arithmetic dominated.
+			Name: "ijpeg", Layers: 2, ProcsPerLayer: 3, CallsPerProc: 2,
+			WorkALU: 60, WorkLoop: 24, LibCallsPerProc: 0, LibUnits: 0,
+			InlinableFrac: 0.06, Pressure: true, Iterations: 150, Units: 2,
+		},
+		{
+			// perl: interpreter with pervasive library and allocator calls.
+			Name: "perl", Layers: 4, ProcsPerLayer: 5, CallsPerProc: 3,
+			WorkALU: 8, WorkLoop: 2, LibCallsPerProc: 3, LibUnits: 22,
+			InlinableFrac: 0.08, Pressure: false, Iterations: 60, Units: 4,
+		},
+		{
+			// vortex: object database — call- and store-heavy.
+			Name: "vortex", Layers: 4, ProcsPerLayer: 5, CallsPerProc: 3,
+			WorkALU: 14, WorkLoop: 3, LibCallsPerProc: 1, LibUnits: 10,
+			InlinableFrac: 0.08, Pressure: false, Iterations: 70, Units: 4,
+		},
+		{
+			// go: game search — branchy with moderate call depth.
+			Name: "go", Layers: 4, ProcsPerLayer: 4, CallsPerProc: 2,
+			WorkALU: 24, WorkLoop: 6, LibCallsPerProc: 0, LibUnits: 0,
+			InlinableFrac: 0.08, Pressure: true, Iterations: 120, Units: 3,
+		},
+		{
+			// compress: tight loop kernel, few calls of any kind.
+			Name: "compress", Layers: 2, ProcsPerLayer: 2, CallsPerProc: 1,
+			WorkALU: 80, WorkLoop: 40, LibCallsPerProc: 0, LibUnits: 0,
+			InlinableFrac: 0.04, Pressure: false, Iterations: 200, Units: 1,
+		},
+	}
+}
+
+// ProfileByName looks up a profile.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}

@@ -1,0 +1,124 @@
+package spec
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/postproc"
+)
+
+// Setting is one bar group of Figures 17-20: a complete code-generation and
+// linking configuration.
+type Setting struct {
+	Name string
+	// Augment enables the postprocessor's epilogue rewriting.
+	Augment bool
+	// Inline allows leaf-call inlining (disabled in the "st" setting).
+	Inline bool
+	// RegWindows models SPARC register windows (the "flat" settings and
+	// everything StackThreads needs disable them).
+	RegWindows bool
+	// OmitFP lets fixed-frame procedures omit the frame pointer (Mips and
+	// Alpha default; the "fp" settings force FP, as StackThreads needs).
+	OmitFP bool
+	// LockedLib redirects library calls to their thread-safe variants
+	// (linking the thread library).
+	LockedLib bool
+	// TLSReserved reserves the worker-local storage register.
+	TLSReserved bool
+}
+
+var stInline = Setting{Name: "st_inline", Augment: true, Inline: true, LockedLib: true, TLSReserved: true}
+var stFull = Setting{Name: "st", Augment: true, Inline: false, LockedLib: true, TLSReserved: true}
+
+// SettingsFor returns the setting list of the figure matching the CPU, in
+// bar order. The first entry is always the normalization baseline
+// ("default").
+func SettingsFor(cpuName string) ([]Setting, error) {
+	switch cpuName {
+	case "sparc":
+		// Figure 17: default, flat, flat+thread, st_inline, st.
+		return []Setting{
+			{Name: "default", Inline: true, RegWindows: true},
+			{Name: "flat", Inline: true},
+			{Name: "flat+thread", Inline: true, LockedLib: true},
+			stInline,
+			stFull,
+		}, nil
+	case "x86":
+		// Figure 18: default, default+thread, st_inline, st.
+		return []Setting{
+			{Name: "default", Inline: true},
+			{Name: "default+thread", Inline: true, LockedLib: true},
+			stInline,
+			stFull,
+		}, nil
+	case "mips", "alpha":
+		// Figures 19/20: default, fp, fp+thread, st_inline, st.
+		return []Setting{
+			{Name: "default", Inline: true, OmitFP: true},
+			{Name: "fp", Inline: true},
+			{Name: "fp+thread", Inline: true, LockedLib: true},
+			stInline,
+			stFull,
+		}, nil
+	}
+	return nil, fmt.Errorf("spec: no settings for cpu %q", cpuName)
+}
+
+// Overhead holds one benchmark's cycles per setting on one CPU.
+type Overhead struct {
+	Bench    string
+	CPU      string
+	Settings []string
+	Cycles   map[string]int64
+}
+
+// Relative returns the execution time of setting s relative to the first
+// (baseline) setting.
+func (o *Overhead) Relative(s string) float64 {
+	base := o.Cycles[o.Settings[0]]
+	if base == 0 {
+		return 0
+	}
+	return float64(o.Cycles[s]) / float64(base)
+}
+
+// RunOverhead measures profile p under every setting for the CPU model,
+// verifying that the program's checksum is identical across settings (the
+// settings may only change cost, never meaning).
+func RunOverhead(cpu *isa.CostModel, p Profile) (*Overhead, error) {
+	settings, err := SettingsFor(cpu.Name)
+	if err != nil {
+		return nil, err
+	}
+	o := &Overhead{Bench: p.Name, CPU: cpu.Name, Cycles: make(map[string]int64)}
+	var wantRV int64
+	for i, s := range settings {
+		o.Settings = append(o.Settings, s.Name)
+		w := Generate(p, Options{Inline: s.Inline, TLSReserved: s.TLSReserved})
+		prog, err := postproc.CompileUnits(w.Units, postproc.Options{Augment: s.Augment})
+		if err != nil {
+			return nil, fmt.Errorf("spec: %s/%s: %w", p.Name, s.Name, err)
+		}
+		res, err := core.RunProgram(prog, w, core.Config{
+			Mode:       core.Sequential,
+			CPU:        cpu,
+			RegWindows: s.RegWindows,
+			OmitFP:     s.OmitFP,
+			LockedLib:  s.LockedLib,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("spec: %s/%s: %w", p.Name, s.Name, err)
+		}
+		if i == 0 {
+			wantRV = res.RV
+		} else if res.RV != wantRV {
+			return nil, fmt.Errorf("spec: %s: setting %s changed the checksum: %d vs %d",
+				p.Name, s.Name, res.RV, wantRV)
+		}
+		o.Cycles[s.Name] = res.Time
+	}
+	return o, nil
+}

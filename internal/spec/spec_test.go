@@ -1,0 +1,76 @@
+package spec_test
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/spec"
+)
+
+func TestOverheadAllCPUs(t *testing.T) {
+	for _, cpu := range isa.CostModels() {
+		cpu := cpu
+		t.Run(cpu.Name, func(t *testing.T) {
+			for _, p := range spec.Profiles() {
+				o, err := spec.RunOverhead(cpu, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				line := o.Bench + ":"
+				for _, s := range o.Settings {
+					line += " " + s + "=" +
+						formatRel(o.Relative(s))
+				}
+				t.Log(line)
+				// The "st" settings must cost at least the baseline, and
+				// overheads should stay within a plausible band (< 2x).
+				if rel := o.Relative("st"); rel < 0.99 || rel > 2.0 {
+					t.Errorf("%s/%s: st relative time %.3f out of band", cpu.Name, p.Name, rel)
+				}
+				if o.Relative("st") < o.Relative("st_inline")-1e-9 {
+					t.Errorf("%s/%s: disabling inlining made the program faster", cpu.Name, p.Name)
+				}
+			}
+		})
+	}
+}
+
+func formatRel(v float64) string {
+	return string([]byte{
+		byte('0' + int(v)),
+		'.',
+		byte('0' + (int(v*10) % 10)),
+		byte('0' + (int(v*100) % 10)),
+	})
+}
+
+func TestChecksumStableAcrossSettings(t *testing.T) {
+	// RunOverhead already enforces it; run one profile explicitly so a
+	// regression names the failing knob.
+	p, _ := spec.ProfileByName("gcc")
+	if _, err := spec.RunOverhead(isa.SPARC(), p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGeneratorDeterminism: the same profile and options must generate
+// byte-identical programs.
+func TestGeneratorDeterminism(t *testing.T) {
+	p, _ := spec.ProfileByName("vortex")
+	a := spec.Generate(p, spec.Options{Inline: true, TLSReserved: true})
+	b := spec.Generate(p, spec.Options{Inline: true, TLSReserved: true})
+	if len(a.Procs) != len(b.Procs) {
+		t.Fatalf("proc counts differ: %d vs %d", len(a.Procs), len(b.Procs))
+	}
+	for i := range a.Procs {
+		pa, pb := a.Procs[i], b.Procs[i]
+		if pa.Name != pb.Name || len(pa.Code) != len(pb.Code) {
+			t.Fatalf("proc %d differs structurally", i)
+		}
+		for j := range pa.Code {
+			if pa.Code[j] != pb.Code[j] {
+				t.Fatalf("proc %s instr %d: %v vs %v", pa.Name, j, pa.Code[j], pb.Code[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,343 @@
+// Package stlib is the program-level support library of the reproduction:
+// join counters built on top of the core suspend/resume primitives (the
+// synchronization pattern of Figure 8, with the mutual exclusion the figure
+// omits), and the boot shim that starts a program's main procedure as a
+// proper StackThreads thread and signals completion through the halt
+// builtin.
+//
+// Everything here is written in the assembler DSL and compiled by the same
+// toolchain as user code — like the paper's library, it is ordinary code
+// obeying the calling standard.
+package stlib
+
+import (
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// JCWords is the size of a join counter in words:
+//
+//	jc[0] count of unfinished threads
+//	jc[1] waiting context address (0 when nobody waits)
+//	jc[2] lock word
+//	jc[3] result cell (used by the boot shim; free for user programs)
+const JCWords = 4
+
+// CtxWords is the size of a thread context in words (mirrors
+// machine.ContextWords; stlib depends only on the ISA).
+const CtxWords = 3 + isa.NumCalleeSave
+
+// Procedure names added by AddJoinLib and AddBoot.
+const (
+	ProcJCInit   = "jc_init"
+	ProcJCFinish = "jc_finish"
+	ProcJCJoin   = "jc_join"
+	ProcBoot     = "__st_boot"
+	procShim     = "__st_shim"
+)
+
+// AddJoinLib adds jc_init, jc_finish and jc_join to the unit.
+//
+// jc_init(jc, n) arms the counter for n threads. jc_finish(jc) decrements
+// it and, when the count reaches zero with a waiter parked, moves the
+// waiter to the calling worker's ready-queue tail (the LTC resume policy of
+// Figure 12). jc_join(jc) suspends the calling thread until the counter
+// reaches zero; at most one thread may wait on a counter, as in Figure 8.
+func AddJoinLib(u *asm.Unit) {
+	addJCInit(u)
+	addJCFinish(u)
+	addJCJoin(u)
+}
+
+func addJCInit(u *asm.Unit) {
+	b := u.Proc(ProcJCInit, 2, 0)
+	b.LoadArg(isa.T0, 0)
+	b.LoadArg(isa.T1, 1)
+	b.Store(isa.T0, 0, isa.T1)
+	b.Const(isa.T1, 0)
+	b.Store(isa.T0, 1, isa.T1)
+	b.Store(isa.T0, 2, isa.T1)
+	b.Store(isa.T0, 3, isa.T1)
+	b.RetVoid()
+}
+
+// addJCFinish emits:
+//
+//	void jc_finish(jc_t j) {
+//	    lock(&j->lock);
+//	    if (--j->n == 0 && j->waiting) { resume(j->waiting); j->waiting = 0; }
+//	    unlock(&j->lock);
+//	}
+func addJCFinish(u *asm.Unit) {
+	b := u.Proc(ProcJCFinish, 1, 0)
+	out := b.NewLabel()
+
+	b.LoadArg(isa.R0, 0)
+	b.AddI(isa.T0, isa.R0, 2)
+	b.SetArg(0, isa.T0)
+	b.Call("lock")
+
+	b.Load(isa.T1, isa.R0, 0)
+	b.AddI(isa.T1, isa.T1, -1)
+	b.Store(isa.R0, 0, isa.T1)
+	b.BneI(isa.T1, 0, out)
+
+	b.Load(isa.T2, isa.R0, 1)
+	b.BeqI(isa.T2, 0, out)
+	b.Const(isa.T3, 0)
+	b.Store(isa.R0, 1, isa.T3)
+	b.SetArg(0, isa.T2)
+	b.Call("resume")
+
+	b.Bind(out)
+	b.AddI(isa.T0, isa.R0, 2)
+	b.SetArg(0, isa.T0)
+	b.Call("unlock")
+	b.RetVoid()
+}
+
+// addJCJoin emits:
+//
+//	void jc_join(jc_t j) {
+//	    lock(&j->lock);
+//	    if (j->n > 0) {
+//	        context c[1];
+//	        j->waiting = c;
+//	        suspend_u(c, 1, &j->lock); // unlock handed off to suspend
+//	        return;                    // resumed here by jc_finish
+//	    }
+//	    unlock(&j->lock);
+//	}
+func addJCJoin(u *asm.Unit) {
+	b := u.Proc(ProcJCJoin, 1, CtxWords)
+	fast := b.NewLabel()
+
+	b.LoadArg(isa.R0, 0)
+	b.AddI(isa.T0, isa.R0, 2)
+	b.SetArg(0, isa.T0)
+	b.Call("lock")
+
+	b.Load(isa.T1, isa.R0, 0)
+	b.BeqI(isa.T1, 0, fast)
+
+	b.LocalAddr(isa.T2, 0)
+	b.Store(isa.R0, 1, isa.T2)
+	b.SetArg(0, isa.T2)
+	b.Const(isa.T3, 1)
+	b.SetArg(1, isa.T3)
+	b.AddI(isa.T0, isa.R0, 2)
+	b.SetArg(2, isa.T0)
+	b.Call("suspend_u")
+	b.RetVoid()
+
+	b.Bind(fast)
+	b.AddI(isa.T0, isa.R0, 2)
+	b.SetArg(0, isa.T0)
+	b.Call("unlock")
+	b.RetVoid()
+}
+
+// AddBoot adds the boot pair for a program whose top procedure is mainName
+// with argc integer arguments. __st_boot(args...) forks a shim thread that
+// runs main and deposits its result, joins it, and invokes the halt builtin
+// with main's result in RV. Starting main through a fork makes the whole
+// program — main included — migratable, exactly like a thread created with
+// ST_THREAD_CREATE over the scheduler loop.
+//
+// AddJoinLib must also be called on the same unit (or a linked one).
+func AddBoot(u *asm.Unit, mainName string, argc int) {
+	shim := u.Proc(procShim, 1+argc, 0)
+	shim.LoadArg(isa.R0, 0) // join counter
+	for i := 0; i < argc; i++ {
+		shim.LoadArg(isa.T0, 1+i)
+		shim.SetArg(i, isa.T0)
+	}
+	shim.Call(mainName)
+	shim.Store(isa.R0, 3, isa.RV) // deposit main's result in jc[3]
+	shim.SetArg(0, isa.R0)
+	shim.Call(ProcJCFinish)
+	shim.RetVoid()
+
+	boot := u.Proc(ProcBoot, argc, JCWords)
+	boot.LocalAddr(isa.R0, 0) // the join counter lives in boot's frame
+	boot.SetArg(0, isa.R0)
+	boot.Const(isa.T0, 1)
+	boot.SetArg(1, isa.T0)
+	boot.Call(ProcJCInit)
+	boot.SetArg(0, isa.R0)
+	for i := 0; i < argc; i++ {
+		boot.LoadArg(isa.T0, i)
+		boot.SetArg(1+i, isa.T0)
+	}
+	boot.Fork(procShim)
+	boot.SetArg(0, isa.R0)
+	boot.Call(ProcJCJoin)
+	boot.Load(isa.RV, isa.R0, 3)
+	boot.Call("halt")
+	boot.RetVoid()
+}
+
+// Inline join-counter macros. Performance-tuned programs (fib, knapsack —
+// the fine-grain extremes of Figure 21) expand the counter fast paths in
+// place instead of calling the library procedures, exactly as the paper's
+// Cilk ports "manage a synchronization counter" inline in each procedure.
+// The blocking slow path still goes through the suspend_u builtin.
+
+// JCInitInline arms the counter at jc (a register holding its address) for
+// n threads, in place.
+func JCInitInline(b *asm.B, jc isa.Reg, n int64) {
+	b.Const(isa.T6, n)
+	b.Store(jc, 0, isa.T6)
+	b.Const(isa.T6, 0)
+	b.Store(jc, 1, isa.T6)
+	b.Store(jc, 2, isa.T6)
+	b.Store(jc, 3, isa.T6)
+}
+
+// lockInline emits a test-and-set spin acquire of jc's lock word.
+func lockInline(b *asm.B, jc isa.Reg) {
+	spin := b.NewLabel()
+	b.Bind(spin)
+	b.Tas(isa.T6, jc, 2)
+	b.BneI(isa.T6, 0, spin)
+}
+
+// unlockInline releases jc's lock word.
+func unlockInline(b *asm.B, jc isa.Reg) {
+	b.Const(isa.T6, 0)
+	b.Store(jc, 2, isa.T6)
+}
+
+// JCFinishInline expands jc_finish in place. jc must be a callee-save
+// register: the wake path calls the resume builtin.
+func JCFinishInline(b *asm.B, jc isa.Reg) {
+	if !isa.CalleeSave(jc) {
+		panic("stlib: JCFinishInline needs jc in a callee-save register")
+	}
+	out := b.NewLabel()
+	lockInline(b, jc)
+	b.Load(isa.T5, jc, 0)
+	b.AddI(isa.T5, isa.T5, -1)
+	b.Store(jc, 0, isa.T5)
+	b.BneI(isa.T5, 0, out)
+	b.Load(isa.T5, jc, 1)
+	b.BeqI(isa.T5, 0, out)
+	b.Const(isa.T6, 0)
+	b.Store(jc, 1, isa.T6)
+	b.SetArg(0, isa.T5)
+	b.Call("resume")
+	b.Bind(out)
+	unlockInline(b, jc)
+}
+
+// JCJoinInline expands jc_join in place, parking on a context held in the
+// caller's local slot ctxLocal (CtxWords wide). jc must be callee-save.
+func JCJoinInline(b *asm.B, jc isa.Reg, ctxLocal int) {
+	if !isa.CalleeSave(jc) {
+		panic("stlib: JCJoinInline needs jc in a callee-save register")
+	}
+	fast := b.NewLabel()
+	done := b.NewLabel()
+	lockInline(b, jc)
+	b.Load(isa.T5, jc, 0)
+	b.BeqI(isa.T5, 0, fast)
+	b.LocalAddr(isa.T5, ctxLocal)
+	b.Store(jc, 1, isa.T5)
+	b.SetArg(0, isa.T5)
+	b.Const(isa.T6, 1)
+	b.SetArg(1, isa.T6)
+	b.AddI(isa.T6, jc, 2)
+	b.SetArg(2, isa.T6)
+	b.Call("suspend_u") // releases the lock after parking
+	b.Jmp(done)
+	b.Bind(fast)
+	unlockInline(b, jc)
+	b.Bind(done)
+}
+
+// LockAddrInline spin-acquires the lock word at the address in reg.
+func LockAddrInline(b *asm.B, reg isa.Reg) {
+	spin := b.NewLabel()
+	b.Bind(spin)
+	b.Tas(isa.T6, reg, 0)
+	b.BneI(isa.T6, 0, spin)
+}
+
+// UnlockAddrInline releases the lock word at the address in reg.
+func UnlockAddrInline(b *asm.B, reg isa.Reg) {
+	b.Const(isa.T6, 0)
+	b.Store(reg, 0, isa.T6)
+}
+
+// Futures — the paper's title abstraction made explicit. A future is a
+// 4-word cell:
+//
+//	fut[0] ready flag   fut[1] value   fut[2] waiting context   fut[3] lock
+//
+// fut_set(f, v) publishes the value and moves a parked waiter to the ready
+// queue; fut_get(f) returns the value, parking the calling thread if the
+// producer has not finished. Combined with ASYNC_CALL this is exactly a
+// future call: fork a producer that fut_sets, keep computing, fut_get when
+// the value is needed.
+const (
+	// FutWords is the size of a future cell in words.
+	FutWords = 4
+	// ProcFutInit, ProcFutSet and ProcFutGet are the procedures AddFutureLib adds.
+	ProcFutInit = "fut_init"
+	ProcFutSet  = "fut_set"
+	ProcFutGet  = "fut_get"
+)
+
+// AddFutureLib adds the future procedures to the unit.
+func AddFutureLib(u *asm.Unit) {
+	i := u.Proc(ProcFutInit, 1, 0)
+	i.LoadArg(isa.T0, 0)
+	i.Const(isa.T1, 0)
+	i.Store(isa.T0, 0, isa.T1)
+	i.Store(isa.T0, 1, isa.T1)
+	i.Store(isa.T0, 2, isa.T1)
+	i.Store(isa.T0, 3, isa.T1)
+	i.RetVoid()
+
+	s := u.Proc(ProcFutSet, 2, 0)
+	out := s.NewLabel()
+	s.LoadArg(isa.R0, 0) // future
+	s.LoadArg(isa.T0, 1) // value
+	s.AddI(isa.R1, isa.R0, 3)
+	LockAddrInline(s, isa.R1)
+	s.Store(isa.R0, 1, isa.T0)
+	s.Const(isa.T1, 1)
+	s.Store(isa.R0, 0, isa.T1) // ready
+	s.Load(isa.T2, isa.R0, 2)  // waiter?
+	s.BeqI(isa.T2, 0, out)
+	s.Const(isa.T3, 0)
+	s.Store(isa.R0, 2, isa.T3)
+	s.SetArg(0, isa.T2)
+	s.Call("resume")
+	s.Bind(out)
+	UnlockAddrInline(s, isa.R1)
+	s.RetVoid()
+
+	g := u.Proc(ProcFutGet, 1, CtxWords)
+	ready := g.NewLabel()
+	g.LoadArg(isa.R0, 0)
+	g.AddI(isa.R1, isa.R0, 3)
+	LockAddrInline(g, isa.R1)
+	g.Load(isa.T0, isa.R0, 0)
+	g.BneI(isa.T0, 0, ready)
+	// park: publish the context, then suspend with the lock handed off
+	g.LocalAddr(isa.T1, 0)
+	g.Store(isa.R0, 2, isa.T1)
+	g.SetArg(0, isa.T1)
+	g.Const(isa.T2, 1)
+	g.SetArg(1, isa.T2)
+	g.SetArg(2, isa.R1)
+	g.Call("suspend_u")
+	// resumed: the value is published; fall through without the lock
+	g.Load(isa.RV, isa.R0, 1)
+	g.Ret(isa.RV)
+	g.Bind(ready)
+	g.Load(isa.RV, isa.R0, 1)
+	UnlockAddrInline(g, isa.R1)
+	g.Ret(isa.RV)
+}
