@@ -20,6 +20,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/machine"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -77,6 +78,11 @@ type Config struct {
 	// Events, when non-nil, collects the run's migration-level history
 	// (parallel modes only).
 	Events *sched.EventLog
+	// Obs, when non-nil, attaches the observability layer (internal/obs):
+	// per-phase cycle attribution, the metrics registry, the sampling
+	// profiler and the Chrome-trace event stream. Collection charges no
+	// virtual cycles — results are identical with or without it.
+	Obs *obs.Collector
 	// Out receives simulated program output (print builtins).
 	Out io.Writer
 	// RegWindows, OmitFP and LockedLib select the code-generation cost
@@ -139,6 +145,7 @@ func RunProgram(prog *isa.Program, w *apps.Workload, cfg Config) (*Result, error
 		RegWindows:      cfg.RegWindows,
 		OmitFP:          cfg.OmitFP,
 		LockedLib:       cfg.LockedLib,
+		Obs:             cfg.Obs,
 	})
 
 	args := w.Args
@@ -177,6 +184,7 @@ func RunProgram(prog *isa.Program, w *apps.Workload, cfg Config) (*Result, error
 			Seed:    cfg.Seed,
 			Quantum: cfg.Quantum,
 			Events:  cfg.Events,
+			Obs:     cfg.Obs,
 		})
 		if err != nil {
 			return nil, err
@@ -194,10 +202,44 @@ func RunProgram(prog *isa.Program, w *apps.Workload, cfg Config) (*Result, error
 	for _, st := range res.Stats {
 		res.Instrs += st.Instrs
 	}
+	if cfg.Obs != nil {
+		finishObs(cfg.Obs, m, res)
+	}
 	if w.Verify != nil {
 		if err := w.Verify(m.Mem, res.RV); err != nil {
 			return nil, fmt.Errorf("core: verify %s/%s: %w", w.Name, w.Variant, err)
 		}
 	}
 	return res, nil
+}
+
+// finishObs closes out the observability layer at the end of a run: it
+// fixes every worker's total (making the user phase the exact residual, so
+// phase cycles sum to Result.WorkCycles), records the makespan, and fills
+// the metrics registry from the run's counters and per-worker stats.
+func finishObs(c *obs.Collector, m *machine.Machine, res *Result) {
+	c.SetMakespan(res.Time)
+	for i, w := range m.Workers {
+		c.FinishWorker(i, w.Cycles)
+	}
+	reg := c.Metrics
+	reg.Gauge("workers").Set(int64(len(m.Workers)))
+	reg.Gauge("makespan_cycles").Set(res.Time)
+	reg.Gauge("work_cycles").Set(res.WorkCycles)
+	reg.Counter("instrs").Add(res.Instrs)
+	reg.Counter("steals").Add(res.Steals)
+	reg.Counter("steal_attempts").Add(res.Attempts)
+	reg.Counter("steal_rejects").Add(res.Rejects)
+	reg.Counter("profile_samples").Add(c.Samples())
+	for _, st := range res.Stats {
+		reg.Counter("calls").Add(st.Calls)
+		reg.Counter("suspends").Add(st.Suspends)
+		reg.Counter("restarts").Add(st.Restarts)
+		reg.Counter("exports").Add(st.Exports)
+		reg.Counter("shrinks").Add(st.Shrinks)
+		reg.Counter("extends").Add(st.Extends)
+		reg.Gauge("stack_high_water").Max(st.StackHighWater)
+		reg.Counter("segments").Add(st.Segments)
+		reg.Counter("segments_live").Add(st.SegmentsLive)
+	}
 }

@@ -281,6 +281,10 @@ type Desc struct {
 	// Augmented reports whether the postprocessor rewrote the epilogue with
 	// the exported-set free check.
 	Augmented bool
+	// CheckEntry is the global pc of the augmented epilogue tail (the first
+	// instruction of the free check) when Augmented; -1 otherwise. The
+	// observability layer uses it to attribute the per-return check cost.
+	CheckEntry int64
 }
 
 // IsFork reports whether the call instruction at global pc is a fork point

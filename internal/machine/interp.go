@@ -90,6 +90,9 @@ func (w *Worker) Run(budget int64) (ev Event) {
 		}
 		w.Stats.Instrs++
 		w.Cycles += cost[in.Op]
+		if w.Obs != nil {
+			w.obsTick(pc, in.Op, cost[in.Op])
+		}
 		next := pc + 1
 
 		switch in.Op {

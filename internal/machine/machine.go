@@ -20,6 +20,7 @@ import (
 	"repro/internal/exportset"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/postproc"
 )
 
@@ -99,6 +100,10 @@ type Options struct {
 	Trace io.Writer
 	// Seed initializes the deterministic PRNG behind the rand builtin.
 	Seed uint64
+	// Obs, when non-nil, attaches the observability layer: cycle-phase
+	// attribution, the sampling profiler and the trace event stream. Nil
+	// costs nothing — collection never charges virtual cycles either way.
+	Obs *obs.Collector
 }
 
 // DefaultStackWords is the per-worker physical stack size when
@@ -120,6 +125,10 @@ type Machine struct {
 	descAt []*isa.Desc
 	// isForkPC marks the Call instructions that are fork points.
 	isForkPC []bool
+	// isCheckPC marks the instructions that exist only because of epilogue
+	// augmentation (the free check and the retain path's frame-finished
+	// marking); the observability layer attributes their cost separately.
+	isCheckPC []bool
 	// augRefund is the dynamic cost of the epilogue free check, refunded
 	// per call in Cilk cost mode.
 	augRefund int64
@@ -169,6 +178,7 @@ func New(prog *isa.Program, memory *mem.Memory, cost *isa.CostModel, nWorkers in
 	}
 	m.descAt = make([]*isa.Desc, len(prog.Code))
 	m.isForkPC = make([]bool, len(prog.Code))
+	m.isCheckPC = make([]bool, len(prog.Code))
 	for _, d := range prog.Descs {
 		for pc := d.Entry; pc < d.End; pc++ {
 			m.descAt[pc] = d
@@ -176,6 +186,19 @@ func New(prog *isa.Program, memory *mem.Memory, cost *isa.CostModel, nWorkers in
 		for _, f := range d.ForkPoints {
 			m.isForkPC[f] = true
 		}
+		if d.Augmented && d.CheckEntry > 0 {
+			// The augmented tail's extra instructions over the original
+			// epilogue: the three-instruction free check, plus the retain
+			// path's finished-marking Const/Store (augmentedTail layout).
+			for _, off := range []int64{0, 1, 2, 8, 9} {
+				if pc := d.CheckEntry + off; pc < d.End {
+					m.isCheckPC[pc] = true
+				}
+			}
+		}
+	}
+	if opts.Obs != nil {
+		opts.Obs.Attach(prog)
 	}
 	m.augRefund = cost.OpCost[isa.Load] + cost.OpCost[isa.Bge] + cost.OpCost[isa.Blt]
 	for i := 0; i < nWorkers; i++ {
@@ -312,10 +335,19 @@ type Worker struct {
 	// PollSignal is raised by the scheduler when a steal request is
 	// pending; the next poll point returns EvPoll.
 	PollSignal bool
+
+	// Obs is this worker's cycle-attribution state; nil when observability
+	// is off (the interpreter's only obligation then is one nil check).
+	Obs *obs.WorkerObs
+	// obsStack is the reusable buffer for profiler stack walks.
+	obsStack []int64
 }
 
 func newWorker(m *Machine, id int) *Worker {
 	w := &Worker{ID: id, M: m}
+	if m.Opts.Obs != nil {
+		w.Obs = m.Opts.Obs.Worker(id)
+	}
 	w.Segs = []*StackSegment{{Region: m.Mem.MapStack(m.Opts.StackWords)}}
 	w.Stats.Segments = 1
 	w.Stats.SegmentsLive = 1
@@ -387,6 +419,10 @@ func (w *Worker) switchSegmentIfPinned() {
 	w.Stats.SegmentsLive++
 	w.Regs[isa.SP] = w.bottomSP()
 	w.updateMaxECell()
+	if w.Obs != nil {
+		w.M.Opts.Obs.Instant(w.Cycles, w.ID, "segment-switch",
+			obs.Arg{K: "live", V: w.Stats.SegmentsLive})
+	}
 }
 
 // sweepSegments pops finished frames from non-current segments and reclaims

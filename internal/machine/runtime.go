@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/exportset"
 	"repro/internal/isa"
+	"repro/internal/obs"
 )
 
 // writeContext marshals a Context into simulated memory at addr (the
@@ -72,6 +73,9 @@ func (w *Worker) exportFrame(fp int64, d *isa.Desc) {
 	if !s.Exported.Contains(fp) {
 		s.Exported.Push(exportset.Entry{FP: fp, Low: fp - d.FrameSize})
 		w.Stats.Exports++
+		if c := w.M.Opts.Obs; c != nil {
+			c.ExportedSize.Observe(int64(s.Exported.Len()))
+		}
 	}
 }
 
@@ -125,6 +129,8 @@ func (w *Worker) SuspendCurrent(resumePC int64, n int) *Context {
 		w.fail(w.PC, "suspend with n=%d", n)
 	}
 	w.Stats.Suspends++
+	t0 := w.Cycles
+	unwound := 0
 	c := &Context{ResumePC: resumePC, Top: w.FP()}
 	for i := 0; i < isa.NumCalleeSave; i++ {
 		c.Regs[i] = w.Regs[isa.R0+isa.Reg(i)]
@@ -136,6 +142,7 @@ func (w *Worker) SuspendCurrent(resumePC int64, n int) *Context {
 	}
 	forks := 0
 	for {
+		unwound++
 		cur := w.FP()
 		ret := w.runPureEpilogue(d)
 		if w.Local(cur) {
@@ -170,6 +177,10 @@ func (w *Worker) SuspendCurrent(resumePC int64, n int) *Context {
 	w.extendTop()
 	w.updateMaxECell()
 	w.checkInvariants("suspend")
+	if w.Obs != nil {
+		w.Obs.Charge(obs.PhaseSuspend, w.Cycles-t0)
+		w.M.Opts.Obs.Span(t0, w.Cycles, w.ID, "suspend", obs.Arg{K: "frames", V: int64(unwound)})
+	}
 	return c
 }
 
@@ -179,6 +190,8 @@ func (w *Worker) SuspendCurrent(resumePC int64, n int) *Context {
 // "give the thread at the bottom of the logical stack").
 func (w *Worker) SuspendAllCurrent(resumePC int64) *Context {
 	w.Stats.Suspends++
+	t0 := w.Cycles
+	unwound := 0
 	c := &Context{ResumePC: resumePC, Top: w.FP()}
 	for i := 0; i < isa.NumCalleeSave; i++ {
 		c.Regs[i] = w.Regs[isa.R0+isa.Reg(i)]
@@ -188,6 +201,7 @@ func (w *Worker) SuspendAllCurrent(resumePC int64) *Context {
 		w.fail(resumePC, "suspend resume pc outside any procedure")
 	}
 	for {
+		unwound++
 		cur := w.FP()
 		ret := w.runPureEpilogue(d)
 		if w.Local(cur) {
@@ -207,6 +221,10 @@ func (w *Worker) SuspendAllCurrent(resumePC int64) *Context {
 	w.PC = MagicSched
 	w.extendTop()
 	w.updateMaxECell()
+	if w.Obs != nil {
+		w.Obs.Charge(obs.PhaseSuspend, w.Cycles-t0)
+		w.M.Opts.Obs.Span(t0, w.Cycles, w.ID, "suspend-all", obs.Arg{K: "frames", V: int64(unwound)})
+	}
 	return c
 }
 
@@ -250,6 +268,9 @@ func (w *Worker) RestartChain(c *Context, callsite, realResume int64, markFork b
 	w.extendTop()
 	w.updateMaxECell()
 	w.checkInvariants("restart")
+	if w.Obs != nil {
+		w.M.Opts.Obs.Instant(w.Cycles, w.ID, "restart", obs.Arg{K: "top", V: c.Top})
+	}
 }
 
 // StartThread begins executing a detached context on an idle worker (empty
@@ -330,17 +351,20 @@ func (w *Worker) extendTop() {
 func (w *Worker) Shrink() {
 	w.sweepSegments()
 	exp := &w.seg().Exported
-	popped := false
+	popped := 0
 	for !exp.Empty() && w.M.Mem.Load(exp.Top().FP-1) == 0 {
 		exp.PopTop()
 		w.Stats.Shrinks++
-		popped = true
+		popped++
 	}
-	if !popped {
+	if popped == 0 {
 		w.checkInvariants("shrink-noop")
 		return
 	}
 	w.updateMaxECell()
+	if w.Obs != nil {
+		w.M.Opts.Obs.Instant(w.Cycles, w.ID, "shrink", obs.Arg{K: "popped", V: int64(popped)})
+	}
 
 	curLow := int64(-1)
 	haveCur := false
@@ -413,9 +437,11 @@ func (w *Worker) CountThreads() int {
 	}
 }
 
-// builtin dispatches a runtime service call. It returns resume=false when
-// the worker must stop (halt, lock contention); otherwise it has set w.PC.
-func (w *Worker) builtin(b isa.Builtin, callPC int64) (Event, bool) {
+// runBuiltin dispatches a runtime service call. It returns resume=false
+// when the worker must stop (halt, lock contention); otherwise it has set
+// w.PC. Callers go through the builtin wrapper (obs.go), which attributes
+// runtime-service cycles to their phase when observability is on.
+func (w *Worker) runBuiltin(b isa.Builtin, callPC int64) (Event, bool) {
 	w.Cycles += w.M.Cost.BuiltinCost[b]
 	m := w.M
 	sp := w.Regs[isa.SP]

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one trace_event entry in the Chrome/Perfetto JSON schema
+// (the "JSON Array Format" with a traceEvents wrapper). Virtual cycles map
+// to microseconds one-to-one: 1 cycle = 1µs of trace time.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope: "t" = thread
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	Meta            chromeMeta    `json:"metadata"`
+}
+
+type chromeMeta struct {
+	Tool  string `json:"tool"`
+	Note  string `json:"note"`
+	Cycle string `json:"cycle-unit"`
+}
+
+// WriteChromeTrace renders the enriched event stream as Chrome trace_event
+// JSON, loadable in Perfetto (ui.perfetto.dev) or chrome://tracing. One
+// process with one thread track per worker; spans show suspend/restart/
+// steal-service work, instants show scheduling events, and counter tracks
+// show ready-queue depth.
+func (c *Collector) WriteChromeTrace(w io.Writer) error {
+	workers := 0
+	for _, e := range c.events {
+		if e.Worker >= workers {
+			workers = e.Worker + 1
+		}
+	}
+	for _, o := range c.workers {
+		if o != nil && o.ID >= workers {
+			workers = o.ID + 1
+		}
+	}
+	evs := make([]chromeEvent, 0, len(c.events)+workers+1)
+	evs = append(evs, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 0, Tid: 0,
+		Args: map[string]any{"name": "stackthreads-mp"},
+	})
+	for i := 0; i < workers; i++ {
+		evs = append(evs, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: i,
+			Args: map[string]any{"name": fmt.Sprintf("worker %d", i)},
+		})
+	}
+	for _, e := range c.events {
+		ce := chromeEvent{Name: e.Name, Ts: e.Ts, Pid: 0, Tid: e.Worker}
+		switch e.Kind {
+		case 'X':
+			ce.Ph = "X"
+			ce.Dur = e.Dur
+			if ce.Dur <= 0 {
+				ce.Dur = 1 // zero-length spans are invisible; clamp to 1 cycle
+			}
+		case 'C':
+			ce.Ph = "C"
+		default:
+			ce.Ph = "i"
+			ce.S = "t"
+		}
+		if len(e.Args) > 0 {
+			ce.Args = make(map[string]any, len(e.Args))
+			for _, a := range e.Args {
+				ce.Args[a.K] = a.V
+			}
+		}
+		evs = append(evs, ce)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeTrace{
+		TraceEvents:     evs,
+		DisplayTimeUnit: "ms",
+		Meta: chromeMeta{
+			Tool:  "stackthreads-mp obs",
+			Note:  "deterministic virtual-time run",
+			Cycle: "1 virtual cycle = 1us of trace time",
+		},
+	})
+}

@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"math/bits"
+)
+
+// Registry is the run's metrics registry: named counters, gauges and
+// virtual-time histograms, snapshotted as deterministic JSON. Metrics are
+// created on first use and live for the registry's lifetime; everything is
+// integer-valued so snapshots are byte-identical across hosts.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter is a monotonically increasing count.
+type Counter struct{ v int64 }
+
+// Add increments the counter.
+func (c *Counter) Add(n int64) { c.v += n }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v }
+
+// Gauge is a last-value (or maximum) measurement.
+type Gauge struct{ v int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v = v }
+
+// Max stores v if it exceeds the current value.
+func (g *Gauge) Max(v int64) {
+	if v > g.v {
+		g.v = v
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v }
+
+// histBuckets is the number of power-of-two histogram buckets: bucket i
+// counts observations v with 2^(i-1) <= v < 2^i (bucket 0 counts v <= 0).
+const histBuckets = 48
+
+// Histogram is a fixed power-of-two-bucket histogram of virtual-time
+// quantities (latencies, depths, sizes).
+type Histogram struct {
+	count, sum int64
+	min, max   int64
+	buckets    [histBuckets]int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bucketOf(v)]++
+}
+
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(v))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Min and Max return the observed extrema (0 when empty).
+func (h *Histogram) Min() int64 { return h.min }
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() int64 { return h.max }
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// HistSnapshot is a histogram's JSON form. Buckets are upper bounds with
+// cumulative-free counts; empty buckets are elided.
+type HistSnapshot struct {
+	Count int64        `json:"count"`
+	Sum   int64        `json:"sum"`
+	Min   int64        `json:"min"`
+	Max   int64        `json:"max"`
+	Bkts  []HistBucket `json:"buckets,omitempty"`
+}
+
+// HistBucket is one non-empty histogram bucket: N observations v with
+// Le/2 <= v < Le (Le == 0 marks the v <= 0 bucket).
+type HistBucket struct {
+	Le int64 `json:"le"`
+	N  int64 `json:"n"`
+}
+
+// Snapshot is the registry's JSON form. Encoding/json sorts the map keys,
+// so marshalled snapshots are deterministic.
+type Snapshot struct {
+	Counters   map[string]int64        `json:"counters"`
+	Gauges     map[string]int64        `json:"gauges"`
+	Histograms map[string]HistSnapshot `json:"histograms"`
+}
+
+// Snapshot captures the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.v
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.v
+	}
+	for name, h := range r.hists {
+		hs := HistSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+		for i, n := range h.buckets {
+			if n == 0 {
+				continue
+			}
+			le := int64(0)
+			switch {
+			case i == histBuckets-1:
+				le = math.MaxInt64 // overflow bucket absorbs everything above
+			case i > 0:
+				le = 1 << uint(i)
+			}
+			hs.Bkts = append(hs.Bkts, HistBucket{Le: le, N: n})
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// MarshalJSON renders the snapshot with sorted keys (via encoding/json's
+// map-key ordering), suitable for byte-identical determinism checks.
+func (r *Registry) MarshalJSON() ([]byte, error) {
+	return json.MarshalIndent(r.Snapshot(), "", "  ")
+}

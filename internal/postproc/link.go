@@ -61,6 +61,10 @@ func Link(pps []*Processed) (*isa.Program, error) {
 			SavedRegs:     append([]isa.Reg(nil), p.SavedRegs...),
 			FrameSize:     int64(p.FrameSize),
 			Augmented:     pp.Augmented,
+			CheckEntry:    -1,
+		}
+		if pp.Augmented && pp.CheckTail >= 0 {
+			d.CheckEntry = b + int64(pp.CheckTail)
 		}
 		for _, off := range pp.ForkOffsets {
 			d.ForkPoints = append(d.ForkPoints, b+int64(off))

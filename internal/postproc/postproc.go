@@ -69,6 +69,7 @@ type Processed struct {
 	BodyStart     int   // proc-relative pc of the first body instruction
 	EpilogueStart int   // proc-relative pc of the epilogue's first restore
 	Augmented     bool
+	CheckTail     int // proc-relative pc of the augmented tail; -1 if plain
 }
 
 // frameShape is what the pattern matcher extracts from a prologue.
@@ -292,8 +293,10 @@ func process(src *isa.Proc, augment bool, opt Options) (*Processed, error) {
 
 	args := maxSPStore(p.Code)
 
+	checkTail := -1
 	if augment {
 		p.Code = append(p.Code[:tail:tail], augmentedTail(tail, opt.UnsafeFreeAtMax)...)
+		checkTail = tail
 	}
 	pure := len(p.Code)
 	p.Code = append(p.Code, pureEpilogue(shape.saved)...)
@@ -308,6 +311,7 @@ func process(src *isa.Proc, augment bool, opt Options) (*Processed, error) {
 		BodyStart:     shape.bodyStart,
 		EpilogueStart: entry,
 		Augmented:     augment,
+		CheckTail:     checkTail,
 	}, nil
 }
 

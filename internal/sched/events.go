@@ -3,6 +3,7 @@ package sched
 import (
 	"fmt"
 	"io"
+	"sort"
 )
 
 // TraceKind classifies a scheduling event.
@@ -51,6 +52,16 @@ type TraceEvent struct {
 	// From is the other party (the victim for request/steal/reject), -1
 	// when not applicable.
 	From int
+	// Frame identifies the migrated thread on steal/resume events: the
+	// stolen context's top frame pointer. Zero when not applicable.
+	Frame int64
+	// ResumePC is the migrated thread's continuation pc on steal/resume
+	// events. Zero when not applicable.
+	ResumePC int64
+	// Latency is the request→steal virtual-time delta on steal events under
+	// the ST protocol (the same quantity the steal-latency histogram
+	// aggregates). Zero otherwise — Cilk steals have no request phase.
+	Latency int64
 }
 
 // EventLog collects the migration-level history of a run when attached to
@@ -66,15 +77,40 @@ func (l *EventLog) add(e TraceEvent) {
 	}
 }
 
-// Dump writes the log as a table.
+// Sorted returns a globally ordered copy of the log: ascending virtual
+// time, ties broken by worker, further ties keeping insertion order (the
+// sort is stable, so per-worker event order is always preserved).
+func (l *EventLog) Sorted() []TraceEvent {
+	out := append([]TraceEvent(nil), l.Events...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Time != out[j].Time {
+			return out[i].Time < out[j].Time
+		}
+		return out[i].Worker < out[j].Worker
+	})
+	return out
+}
+
+// Dump writes the log as a globally time-ordered table. Steal events carry
+// the migrated thread's identity (top frame, resume pc) and the
+// request→steal latency.
 func (l *EventLog) Dump(w io.Writer) {
-	fmt.Fprintf(w, "%12s %8s %7s %6s\n", "vtime", "kind", "worker", "from")
-	for _, e := range l.Events {
-		from := "-"
+	fmt.Fprintf(w, "%12s %8s %7s %6s %10s %9s %9s\n",
+		"vtime", "kind", "worker", "from", "frame", "resumepc", "latency")
+	for _, e := range l.Sorted() {
+		from, frame, resume, lat := "-", "-", "-", "-"
 		if e.From >= 0 {
 			from = fmt.Sprintf("w%d", e.From)
 		}
-		fmt.Fprintf(w, "%12d %8s %6s  %6s\n", e.Time, e.Kind, fmt.Sprintf("w%d", e.Worker), from)
+		if e.Frame != 0 {
+			frame = fmt.Sprintf("%d", e.Frame)
+			resume = fmt.Sprintf("%d", e.ResumePC)
+		}
+		if e.Kind == TraceSteal && e.Latency > 0 {
+			lat = fmt.Sprintf("%d", e.Latency)
+		}
+		fmt.Fprintf(w, "%12d %8s %6s  %6s %10s %9s %9s\n",
+			e.Time, e.Kind, fmt.Sprintf("w%d", e.Worker), from, frame, resume, lat)
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/isa"
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 // Mode selects the scheduling regime.
@@ -73,6 +74,10 @@ type Config struct {
 	MaxCycles int64
 	// Events, when non-nil, collects the run's migration-level history.
 	Events *EventLog
+	// Obs, when non-nil, receives cycle-phase attribution for scheduler
+	// time (idle waits, steal requests, handshakes) and the enriched event
+	// stream. It must be the same collector given to the machine.
+	Obs *obs.Collector
 }
 
 // Result summarizes one parallel run.
@@ -101,6 +106,9 @@ const (
 
 type stealReq struct {
 	thief int
+	// postedAt is the thief's virtual time when the request was posted; the
+	// request→steal delta is the steal latency.
+	postedAt int64
 }
 
 type scheduler struct {
@@ -202,6 +210,9 @@ func (s *scheduler) loop() error {
 
 		if s.status[i] == idle {
 			if w.Cycles < s.wakeAt[i] {
+				if w.Obs != nil {
+					w.Obs.Charge(obs.PhaseIdle, s.wakeAt[i]-w.Cycles)
+				}
 				w.Cycles = s.wakeAt[i]
 			}
 			s.attemptSteal(i)
@@ -219,15 +230,22 @@ func (s *scheduler) loop() error {
 			s.res.Time = w.Cycles
 			s.status[i] = halted
 			s.cfg.Events.add(TraceEvent{Time: w.Cycles, Kind: TraceHalt, Worker: i, From: -1})
+			s.cfg.Obs.Instant(w.Cycles, i, "halt")
 			return nil
 		case machine.EvBottom:
 			w.Shrink()
 			if c := w.ReadyQ.PopHead(); c != nil {
-				s.cfg.Events.add(TraceEvent{Time: w.Cycles, Kind: TraceResume, Worker: i, From: -1})
+				s.cfg.Events.add(TraceEvent{Time: w.Cycles, Kind: TraceResume, Worker: i, From: -1,
+					Frame: c.Top, ResumePC: c.ResumePC})
+				if s.cfg.Obs != nil {
+					s.cfg.Obs.Instant(w.Cycles, i, "resume", obs.Arg{K: "frame", V: c.Top})
+					s.cfg.Obs.CounterSample(w.Cycles, i, "readyq", int64(w.ReadyQ.Len()))
+				}
 				w.StartThread(c)
 				continue
 			}
 			s.cfg.Events.add(TraceEvent{Time: w.Cycles, Kind: TraceIdle, Worker: i, From: -1})
+			s.cfg.Obs.Instant(w.Cycles, i, "idle")
 			s.goIdle(i, w.Cycles)
 			if done, err := s.quiescent(); done {
 				return err
@@ -238,6 +256,9 @@ func (s *scheduler) loop() error {
 			// Spin on the contended lock; virtual time passes so the
 			// holder gets scheduled.
 			w.Cycles += 8
+			if w.Obs != nil {
+				w.Obs.Charge(obs.PhaseIdle, 8)
+			}
 		case machine.EvTrap:
 			return w.Err
 		default:
@@ -257,6 +278,9 @@ func (s *scheduler) goIdle(i int, at int64) {
 		s.res.Rejects++
 		thief := s.m.Workers[req.thief]
 		if thief.Cycles < at {
+			if thief.Obs != nil {
+				thief.Obs.Charge(obs.PhaseIdle, at-thief.Cycles)
+			}
 			thief.Cycles = at
 		}
 		s.goIdle(req.thief, thief.Cycles)
@@ -297,6 +321,16 @@ func (s *scheduler) attemptSteal(i int) {
 		return
 	}
 	w := s.m.Workers[i]
+	if w.Obs != nil {
+		// Everything the thief pays inside one attempt — victim probes and
+		// posting the request — is steal-request work.
+		t0 := w.Cycles
+		defer func() {
+			if d := w.Cycles - t0; d > 0 {
+				w.Obs.Charge(obs.PhaseStealReq, d)
+			}
+		}()
+	}
 	retry := func() {
 		s.wakeAt[i] = w.Cycles + s.m.Cost.StealHandshake
 	}
@@ -329,11 +363,12 @@ func (s *scheduler) attemptSteal(i int) {
 	}
 	vw := s.m.Workers[v]
 	// Post the request; the victim sees it at its next poll point.
-	s.reqs[v] = &stealReq{thief: i}
+	w.Cycles += s.m.Cost.StealHandshake
+	s.reqs[v] = &stealReq{thief: i, postedAt: w.Cycles}
 	vw.PollSignal = true
 	s.status[i] = waiting
-	w.Cycles += s.m.Cost.StealHandshake
 	s.cfg.Events.add(TraceEvent{Time: w.Cycles, Kind: TraceRequest, Worker: i, From: v})
+	s.cfg.Obs.Instant(w.Cycles, i, "steal-request", obs.Arg{K: "victim", V: int64(v)})
 }
 
 // servicePoll handles a victim noticing its request port (Figure 10's
@@ -346,6 +381,11 @@ func (s *scheduler) servicePoll(v int) {
 		return
 	}
 	s.reqs[v] = nil
+	var vt0, va0 int64
+	if vw.Obs != nil {
+		vt0, va0 = vw.Cycles, vw.Obs.AttributedTotal()
+		s.cfg.Obs.CounterSample(vw.Cycles, v, "readyq", int64(vw.ReadyQ.Len()))
+	}
 	vw.Shrink()
 
 	var reply *machine.Context
@@ -376,18 +416,41 @@ func (s *scheduler) servicePoll(v int) {
 		s.res.Rejects++
 	}
 
+	if vw.Obs != nil {
+		// The victim's service time minus what the inner suspends already
+		// attributed is pure handshake work.
+		if d := (vw.Cycles - vt0) - (vw.Obs.AttributedTotal() - va0); d > 0 {
+			vw.Obs.Charge(obs.PhaseHandshake, d)
+		}
+		s.cfg.Obs.Span(vt0, vw.Cycles, v, "steal-service", obs.Arg{K: "thief", V: int64(req.thief)})
+	}
+
 	thief := s.m.Workers[req.thief]
 	at := vw.Cycles + s.m.Cost.StealHandshake
 	if thief.Cycles < at {
+		// The thief blocks from posting the request until the reply lands.
+		if thief.Obs != nil {
+			thief.Obs.Charge(obs.PhaseHandshake, at-thief.Cycles)
+		}
 		thief.Cycles = at
 	}
 	if reply != nil {
 		s.res.Steals++
-		s.cfg.Events.add(TraceEvent{Time: thief.Cycles, Kind: TraceSteal, Worker: req.thief, From: v})
+		latency := thief.Cycles - req.postedAt
+		s.cfg.Events.add(TraceEvent{Time: thief.Cycles, Kind: TraceSteal, Worker: req.thief, From: v,
+			Frame: reply.Top, ResumePC: reply.ResumePC, Latency: latency})
+		if s.cfg.Obs != nil {
+			s.cfg.Obs.StealLatency.Observe(latency)
+			s.cfg.Obs.Instant(thief.Cycles, req.thief, "steal",
+				obs.Arg{K: "victim", V: int64(v)},
+				obs.Arg{K: "frame", V: reply.Top},
+				obs.Arg{K: "latency", V: latency})
+		}
 		thief.StartThread(reply)
 		s.status[req.thief] = running
 	} else {
 		s.cfg.Events.add(TraceEvent{Time: thief.Cycles, Kind: TraceReject, Worker: req.thief, From: v})
+		s.cfg.Obs.Instant(thief.Cycles, req.thief, "steal-reject", obs.Arg{K: "victim", V: int64(v)})
 		s.goIdle(req.thief, thief.Cycles)
 	}
 }
@@ -396,6 +459,16 @@ func (s *scheduler) servicePoll(v int) {
 // random order and take the readyq tail or the oldest fork continuation.
 func (s *scheduler) attemptStealCilk(i int) {
 	w := s.m.Workers[i]
+	if w.Obs != nil {
+		// The whole thief-driven attempt (THE-protocol steal or the failed
+		// scan) is steal-request work; Cilk has no victim-side handshake.
+		t0 := w.Cycles
+		defer func() {
+			if d := w.Cycles - t0; d > 0 {
+				w.Obs.Charge(obs.PhaseStealReq, d)
+			}
+		}()
+	}
 	n := len(s.m.Workers)
 	start := int(s.nextRand() % uint64(n))
 	for k := 0; k < n; k++ {
@@ -411,7 +484,11 @@ func (s *scheduler) attemptStealCilk(i int) {
 		if c != nil {
 			s.res.Steals++
 			w.Cycles += s.m.Cost.CilkStealCost
-			s.cfg.Events.add(TraceEvent{Time: w.Cycles, Kind: TraceSteal, Worker: i, From: v})
+			s.cfg.Events.add(TraceEvent{Time: w.Cycles, Kind: TraceSteal, Worker: i, From: v,
+				Frame: c.Top, ResumePC: c.ResumePC})
+			s.cfg.Obs.Instant(w.Cycles, i, "steal",
+				obs.Arg{K: "victim", V: int64(v)},
+				obs.Arg{K: "frame", V: c.Top})
 			w.StartThread(c)
 			s.status[i] = running
 			return
