@@ -8,7 +8,10 @@
 package repro_test
 
 import (
+	"reflect"
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/apps"
 	"repro/internal/core"
@@ -128,6 +131,38 @@ func BenchmarkTable2MachineThroughput(b *testing.B) {
 		cycles += res.WorkCycles
 	}
 	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "vcycles/s")
+}
+
+// BenchmarkEngineSpeedup runs a Figure-22-scale simulation under the
+// sequential oracle and the host-parallel engine, checks the results are
+// identical, and reports the wall-clock speedup. host-speedup approaches the
+// host's core count on steal-heavy runs and is ~1 on a single-core host, so
+// it is informational (not regression-gated); host-cores records the context.
+func BenchmarkEngineSpeedup(b *testing.B) {
+	const workers = 16
+	run := func(eng core.Engine) (*core.Result, time.Duration) {
+		w := apps.Fib(22, apps.ST)
+		t0 := time.Now()
+		res, err := core.Run(w, core.Config{
+			Mode: core.StackThreads, Workers: workers, Seed: 1, Engine: eng,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res, time.Since(t0)
+	}
+	var seqT, parT time.Duration
+	for i := 0; i < b.N; i++ {
+		seqRes, st := run(core.EngineSequential)
+		parRes, pt := run(core.EngineParallel)
+		if !reflect.DeepEqual(seqRes, parRes) {
+			b.Fatalf("engines diverged: seq %+v vs par %+v", seqRes, parRes)
+		}
+		seqT += st
+		parT += pt
+	}
+	b.ReportMetric(seqT.Seconds()/parT.Seconds(), "host-speedup")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "host-cores")
 }
 
 func itoa(n int) string {

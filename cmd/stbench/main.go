@@ -13,20 +13,32 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/figures"
+	"repro/internal/hostpar"
 	"repro/internal/isa"
 )
 
 func main() {
 	var (
-		fig    = flag.Int("fig", 0, "figure to regenerate (17, 18, 19, 20, 21, 22)")
-		all    = flag.Bool("all", false, "regenerate every figure")
-		full   = flag.Bool("full", false, "paper-scale inputs (slow); default quick")
-		bench  = flag.String("bench", "", "comma-separated benchmark subset for -fig 21/22")
-		ablate = flag.Bool("ablate", false, "run the design-choice ablations instead of a figure")
+		fig       = flag.Int("fig", 0, "figure to regenerate (17, 18, 19, 20, 21, 22)")
+		all       = flag.Bool("all", false, "regenerate every figure")
+		full      = flag.Bool("full", false, "paper-scale inputs (slow); default quick")
+		bench     = flag.String("bench", "", "comma-separated benchmark subset for -fig 21/22")
+		ablate    = flag.Bool("ablate", false, "run the design-choice ablations instead of a figure")
+		engine    = flag.String("engine", "default", "host engine per run: sequential or parallel")
+		hostprocs = flag.Int("hostprocs", 0, "host cores for fanning data points and the parallel engine (0 = all)")
 	)
 	flag.Parse()
+
+	eng, err := core.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stbench:", err)
+		os.Exit(2)
+	}
+	opts := figures.Opts{HostProcs: *hostprocs, Engine: eng}
 
 	sc := figures.Quick
 	if *full {
@@ -38,17 +50,22 @@ func main() {
 	}
 
 	run := func(f int) error {
+		t0 := time.Now()
+		defer func() {
+			fmt.Printf("[figure %d: %.2fs host wall-clock on %d cores, engine %v]\n",
+				f, time.Since(t0).Seconds(), hostpar.Procs(*hostprocs), eng)
+		}()
 		switch f {
 		case 17, 18, 19, 20:
 			cpuName := map[int]string{17: "sparc", 18: "x86", 19: "mips", 20: "alpha"}[f]
-			_, err := figures.SpecOverheads(os.Stdout, isa.CostModelByName(cpuName))
+			_, err := figures.SpecOverheadsWith(os.Stdout, isa.CostModelByName(cpuName), opts)
 			return err
 		case 21:
-			_, err := figures.Uniprocessor(os.Stdout, sc)
+			_, err := figures.UniprocessorWith(os.Stdout, sc, opts)
 			return err
 		case 22:
 			figures.Table2(os.Stdout)
-			_, err := figures.Scaling(os.Stdout, sc, benches)
+			_, err := figures.ScalingWith(os.Stdout, sc, benches, opts)
 			return err
 		}
 		return fmt.Errorf("unknown figure %d", f)

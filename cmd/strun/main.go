@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/apps"
 	"repro/internal/core"
@@ -21,14 +22,16 @@ import (
 
 func main() {
 	var (
-		app     = flag.String("app", "fib", "benchmark name (see -list)")
-		mode    = flag.String("mode", "st", "execution mode: seq, st, cilk")
-		workers = flag.Int("workers", 1, "worker (virtual CPU) count")
-		cpu     = flag.String("cpu", "sparc", "cost model: sparc, x86, mips, alpha")
-		full    = flag.Bool("full", false, "paper-scale input")
-		seed    = flag.Uint64("seed", 1, "scheduler seed")
-		check   = flag.Bool("check", false, "enable the stack-invariant checker")
-		list    = flag.Bool("list", false, "list benchmarks and exit")
+		app       = flag.String("app", "fib", "benchmark name (see -list)")
+		mode      = flag.String("mode", "st", "execution mode: seq, st, cilk")
+		workers   = flag.Int("workers", 1, "worker (virtual CPU) count")
+		cpu       = flag.String("cpu", "sparc", "cost model: sparc, x86, mips, alpha")
+		full      = flag.Bool("full", false, "paper-scale input")
+		seed      = flag.Uint64("seed", 1, "scheduler seed")
+		check     = flag.Bool("check", false, "enable the stack-invariant checker")
+		list      = flag.Bool("list", false, "list benchmarks and exit")
+		engine    = flag.String("engine", "default", "host engine: sequential or parallel (identical results)")
+		hostprocs = flag.Int("hostprocs", 0, "host cores for the parallel engine (0 = all)")
 	)
 	flag.Parse()
 
@@ -43,12 +46,19 @@ func main() {
 	if *full {
 		sc = figures.Full
 	}
+	eng, err := core.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "strun:", err)
+		os.Exit(2)
+	}
 	variant := apps.ST
 	cfg := core.Config{
 		Workers:         *workers,
 		CPU:             isa.CostModelByName(*cpu),
 		Seed:            *seed,
 		CheckInvariants: *check,
+		Engine:          eng,
+		HostProcs:       *hostprocs,
 		Out:             os.Stdout,
 	}
 	switch *mode {
@@ -73,14 +83,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "strun:", err)
 		os.Exit(2)
 	}
+	t0 := time.Now()
 	res, err := core.Run(w, cfg)
+	wall := time.Since(t0)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "strun:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("app=%s mode=%s workers=%d cpu=%s\n", *app, *mode, *workers, *cpu)
+	fmt.Printf("app=%s mode=%s workers=%d cpu=%s engine=%v\n", *app, *mode, *workers, *cpu, eng)
 	fmt.Printf("result        %d (verified)\n", res.RV)
 	fmt.Printf("elapsed       %d cycles\n", res.Time)
+	fmt.Printf("host          %.3fs wall-clock (%.1f Mcycles/s)\n",
+		wall.Seconds(), float64(res.WorkCycles)/1e6/wall.Seconds())
 	fmt.Printf("work          %d cycles over %d instructions\n", res.WorkCycles, res.Instrs)
 	fmt.Printf("steals        %d (attempts %d, rejects %d)\n", res.Steals, res.Attempts, res.Rejects)
 	for i, st := range res.Stats {

@@ -15,6 +15,8 @@ package core
 import (
 	"fmt"
 	"io"
+	"os"
+	"strconv"
 
 	"repro/internal/apps"
 	"repro/internal/isa"
@@ -51,11 +53,85 @@ func (m Mode) String() string {
 	return fmt.Sprintf("mode(%d)", int(m))
 }
 
+// Engine selects the host execution strategy for the parallel modes. Both
+// engines produce byte-identical results (same Result, metrics, events) for
+// the same configuration and seed; the parallel engine just uses more host
+// cores to get there. See internal/sched/engine_parallel.go.
+type Engine int
+
+// Host execution strategies.
+const (
+	// EngineDefault defers to the ST_ENGINE environment variable
+	// ("parallel" selects the parallel engine; anything else, including
+	// unset, selects sequential). CI uses it to force the parallel engine
+	// across an unmodified test suite.
+	EngineDefault Engine = iota
+	// EngineSequential steps workers one at a time on the calling
+	// goroutine — the reference engine and differential oracle.
+	EngineSequential
+	// EngineParallel speculates worker quanta across host cores.
+	EngineParallel
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineSequential:
+		return "sequential"
+	case EngineParallel:
+		return "parallel"
+	}
+	return "default"
+}
+
+// ParseEngine maps a command-line engine name to an Engine.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "", "default":
+		return EngineDefault, nil
+	case "seq", "sequential":
+		return EngineSequential, nil
+	case "par", "parallel":
+		return EngineParallel, nil
+	}
+	return EngineDefault, fmt.Errorf("core: unknown engine %q (want sequential or parallel)", s)
+}
+
+// schedEngine resolves the configured engine to the scheduler's choice,
+// consulting the environment for EngineDefault.
+func (e Engine) schedEngine() sched.Engine {
+	if e == EngineDefault && os.Getenv("ST_ENGINE") == "parallel" {
+		e = EngineParallel
+	}
+	if e == EngineParallel {
+		return sched.EngineParallel
+	}
+	return sched.EngineSequential
+}
+
+// hostProcs resolves the host-parallelism cap, consulting ST_HOSTPROCS when
+// the config leaves it unset.
+func hostProcs(configured int) int {
+	if configured > 0 {
+		return configured
+	}
+	if v, err := strconv.Atoi(os.Getenv("ST_HOSTPROCS")); err == nil && v > 0 {
+		return v
+	}
+	return 0 // scheduler default: runtime.GOMAXPROCS(0)
+}
+
 // Config parameterizes a run. The zero value means: sequential, one worker,
 // SPARC cost model, default sizes.
 type Config struct {
 	Mode    Mode
 	Workers int
+	// Engine selects the host execution strategy for the parallel modes
+	// (default: sequential, unless ST_ENGINE=parallel is set). Results are
+	// identical either way.
+	Engine Engine
+	// HostProcs caps the host goroutines the parallel engine uses
+	// (default: ST_HOSTPROCS, then runtime.GOMAXPROCS(0)).
+	HostProcs int
 	// CPU is the cost model (default isa.SPARC()).
 	CPU *isa.CostModel
 	// StackWords and HeapWords size the simulated memory (defaults:
@@ -179,12 +255,14 @@ func RunProgram(prog *isa.Program, w *apps.Workload, cfg Config) (*Result, error
 			policy = sched.StealYoungest
 		}
 		sres, err := sched.Run(m, w.Entry, args, sched.Config{
-			Mode:    mode,
-			Policy:  policy,
-			Seed:    cfg.Seed,
-			Quantum: cfg.Quantum,
-			Events:  cfg.Events,
-			Obs:     cfg.Obs,
+			Mode:      mode,
+			Policy:    policy,
+			Seed:      cfg.Seed,
+			Quantum:   cfg.Quantum,
+			Events:    cfg.Events,
+			Obs:       cfg.Obs,
+			Engine:    cfg.Engine.schedEngine(),
+			HostProcs: hostProcs(cfg.HostProcs),
 		})
 		if err != nil {
 			return nil, err

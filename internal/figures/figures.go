@@ -14,9 +14,22 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/hostpar"
 	"repro/internal/isa"
 	"repro/internal/spec"
 )
+
+// Opts tunes how a figure's data points execute on the host. The zero value
+// reproduces the historical behavior: every point on one core, sequential
+// engine. Data points are independent deterministic simulations, so neither
+// knob changes any number or byte of output — only wall-clock time.
+type Opts struct {
+	// HostProcs caps the host goroutines that fan independent data points
+	// (benchmark rows, worker counts, SPEC profiles); <= 1 runs inline.
+	HostProcs int
+	// Engine selects the host execution engine for each individual run.
+	Engine core.Engine
+}
 
 // Scale selects experiment sizes.
 type Scale int
@@ -88,6 +101,12 @@ func SpecFigure(cpuName string) int {
 
 // SpecOverheads runs Figure 17/18/19/20 for the CPU and writes the rows.
 func SpecOverheads(w io.Writer, cpu *isa.CostModel) ([]*spec.Overhead, error) {
+	return SpecOverheadsWith(w, cpu, Opts{})
+}
+
+// SpecOverheadsWith is SpecOverheads with host-execution options: each SPEC
+// profile is an independent simulation, fanned across host cores.
+func SpecOverheadsWith(w io.Writer, cpu *isa.CostModel, opts Opts) ([]*spec.Overhead, error) {
 	settings, err := spec.SettingsFor(cpu.Name)
 	if err != nil {
 		return nil, err
@@ -100,15 +119,21 @@ func SpecOverheads(w io.Writer, cpu *isa.CostModel) ([]*spec.Overhead, error) {
 	}
 	fmt.Fprintln(w)
 
-	var out []*spec.Overhead
-	sums := make([]float64, len(settings))
-	for _, p := range spec.Profiles() {
-		o, err := spec.RunOverhead(cpu, p)
+	profiles := spec.Profiles()
+	out := make([]*spec.Overhead, len(profiles))
+	if err := hostpar.Map(len(profiles), opts.HostProcs, func(i int) error {
+		o, err := spec.RunOverhead(cpu, profiles[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, o)
-		fmt.Fprintf(w, "%-10s", p.Name)
+		out[i] = o
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	sums := make([]float64, len(settings))
+	for k, o := range out {
+		fmt.Fprintf(w, "%-10s", profiles[k].Name)
 		for i, s := range settings {
 			rel := o.Relative(s.Name)
 			sums[i] += rel
@@ -118,7 +143,7 @@ func SpecOverheads(w io.Writer, cpu *isa.CostModel) ([]*spec.Overhead, error) {
 	}
 	fmt.Fprintf(w, "%-10s", "avg")
 	for i := range settings {
-		fmt.Fprintf(w, " %14.3f", sums[i]/float64(len(spec.Profiles())))
+		fmt.Fprintf(w, " %14.3f", sums[i]/float64(len(profiles)))
 	}
 	fmt.Fprintln(w)
 	return out, nil
@@ -139,37 +164,49 @@ func (r UniRow) CilkRel() float64 { return float64(r.CilkT) / float64(r.SeqTime)
 // Uniprocessor runs Figure 21: serial execution time of StackThreads/MP and
 // Cilk relative to sequential C for every benchmark.
 func Uniprocessor(w io.Writer, sc Scale) ([]UniRow, error) {
+	return UniprocessorWith(w, sc, Opts{})
+}
+
+// UniprocessorWith is Uniprocessor with host-execution options: each
+// benchmark row is computed independently, fanned across host cores, and
+// printed in canonical order afterwards.
+func UniprocessorWith(w io.Writer, sc Scale, opts Opts) ([]UniRow, error) {
 	fmt.Fprintln(w, "Figure 21: uniprocessor execution time relative to sequential C")
 	fmt.Fprintf(w, "%-12s %12s %12s\n", "bench", "stackthreads", "cilk")
-	var rows []UniRow
-	for _, name := range BenchNames {
+	rows := make([]UniRow, len(BenchNames))
+	if err := hostpar.Map(len(BenchNames), opts.HostProcs, func(i int) error {
+		name := BenchNames[i]
 		seqW, err := Workload(name, sc, apps.Seq)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		seqRes, err := core.Run(seqW, core.Config{Mode: core.Sequential})
+		seqRes, err := core.Run(seqW, core.Config{Mode: core.Sequential, Engine: opts.Engine})
 		if err != nil {
-			return nil, fmt.Errorf("%s/seq: %w", name, err)
+			return fmt.Errorf("%s/seq: %w", name, err)
 		}
 		stW, err := Workload(name, sc, apps.ST)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		stRes, err := core.Run(stW, core.Config{Mode: core.StackThreads, Workers: 1})
+		stRes, err := core.Run(stW, core.Config{Mode: core.StackThreads, Workers: 1, Engine: opts.Engine})
 		if err != nil {
-			return nil, fmt.Errorf("%s/st: %w", name, err)
+			return fmt.Errorf("%s/st: %w", name, err)
 		}
 		ckW, err := Workload(name, sc, apps.ST)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		ckRes, err := core.Run(ckW, core.Config{Mode: core.Cilk, Workers: 1})
+		ckRes, err := core.Run(ckW, core.Config{Mode: core.Cilk, Workers: 1, Engine: opts.Engine})
 		if err != nil {
-			return nil, fmt.Errorf("%s/cilk: %w", name, err)
+			return fmt.Errorf("%s/cilk: %w", name, err)
 		}
-		r := UniRow{Bench: name, SeqTime: seqRes.Time, STTime: stRes.Time, CilkT: ckRes.Time}
-		rows = append(rows, r)
-		fmt.Fprintf(w, "%-12s %12.3f %12.3f\n", name, r.STRel(), r.CilkRel())
+		rows[i] = UniRow{Bench: name, SeqTime: seqRes.Time, STTime: stRes.Time, CilkT: ckRes.Time}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %12.3f %12.3f\n", r.Bench, r.STRel(), r.CilkRel())
 	}
 	return rows, nil
 }
@@ -191,6 +228,13 @@ func (r ScaleRow) Ratio(i int) float64 { return float64(r.STTime[i]) / float64(r
 // Scaling runs Figure 22: elapsed time of StackThreads/MP relative to Cilk
 // on 1 to 50 (virtual) processors.
 func Scaling(w io.Writer, sc Scale, benches []string) ([]ScaleRow, error) {
+	return ScalingWith(w, sc, benches, Opts{})
+}
+
+// ScalingWith is Scaling with host-execution options: every (benchmark,
+// worker count) point is an independent simulation, fanned across host
+// cores; the table prints in canonical order once all points are in.
+func ScalingWith(w io.Writer, sc Scale, benches []string, opts Opts) ([]ScaleRow, error) {
 	if benches == nil {
 		benches = BenchNames
 	}
@@ -200,31 +244,43 @@ func Scaling(w io.Writer, sc Scale, benches []string) ([]ScaleRow, error) {
 		fmt.Fprintf(w, " %8s", fmt.Sprintf("p=%d", n))
 	}
 	fmt.Fprintln(w)
-	var rows []ScaleRow
-	for _, name := range benches {
-		row := ScaleRow{Bench: name}
-		for _, n := range ScalingWorkers {
-			stW, err := Workload(name, sc, apps.ST)
-			if err != nil {
-				return nil, err
-			}
-			stRes, err := core.Run(stW, core.Config{Mode: core.StackThreads, Workers: n, Seed: 1})
-			if err != nil {
-				return nil, fmt.Errorf("%s/st/p=%d: %w", name, n, err)
-			}
-			ckW, err := Workload(name, sc, apps.ST)
-			if err != nil {
-				return nil, err
-			}
-			ckRes, err := core.Run(ckW, core.Config{Mode: core.Cilk, Workers: n, Seed: 1})
-			if err != nil {
-				return nil, fmt.Errorf("%s/cilk/p=%d: %w", name, n, err)
-			}
-			row.STTime = append(row.STTime, stRes.Time)
-			row.CilkTime = append(row.CilkTime, ckRes.Time)
+
+	rows := make([]ScaleRow, len(benches))
+	for i, name := range benches {
+		rows[i] = ScaleRow{
+			Bench:    name,
+			STTime:   make([]int64, len(ScalingWorkers)),
+			CilkTime: make([]int64, len(ScalingWorkers)),
 		}
-		rows = append(rows, row)
-		fmt.Fprintf(w, "%-12s", name)
+	}
+	points := len(benches) * len(ScalingWorkers)
+	if err := hostpar.Map(points, opts.HostProcs, func(k int) error {
+		bi, wi := k/len(ScalingWorkers), k%len(ScalingWorkers)
+		name, n := benches[bi], ScalingWorkers[wi]
+		stW, err := Workload(name, sc, apps.ST)
+		if err != nil {
+			return err
+		}
+		stRes, err := core.Run(stW, core.Config{Mode: core.StackThreads, Workers: n, Seed: 1, Engine: opts.Engine})
+		if err != nil {
+			return fmt.Errorf("%s/st/p=%d: %w", name, n, err)
+		}
+		ckW, err := Workload(name, sc, apps.ST)
+		if err != nil {
+			return err
+		}
+		ckRes, err := core.Run(ckW, core.Config{Mode: core.Cilk, Workers: n, Seed: 1, Engine: opts.Engine})
+		if err != nil {
+			return fmt.Errorf("%s/cilk/p=%d: %w", name, n, err)
+		}
+		rows[bi].STTime[wi] = stRes.Time
+		rows[bi].CilkTime[wi] = ckRes.Time
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		fmt.Fprintf(w, "%-12s", row.Bench)
 		for i := range ScalingWorkers {
 			fmt.Fprintf(w, " %8.3f", row.Ratio(i))
 		}

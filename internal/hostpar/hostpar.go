@@ -1,0 +1,70 @@
+// Package hostpar fans independent simulation runs across host cores.
+//
+// Every run in this repository is deterministic in virtual time, so data
+// points that do not share state (figure rows, seed sweeps, profile grids)
+// can execute on any host core in any order; callers collect results by
+// index, keeping output order canonical regardless of host scheduling.
+package hostpar
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Procs resolves a host-parallelism request: n if positive, otherwise
+// GOMAXPROCS.
+func Procs(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map runs f(0..n-1) on up to procs host goroutines and returns the
+// lowest-index error, if any. With procs <= 1 it runs inline, so sequential
+// callers pay no goroutine overhead. A panic in f is reported as that
+// index's error.
+func Map(n, procs int, f func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	call := func(i int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("hostpar: index %d panicked: %v", i, r)
+			}
+		}()
+		return f(i)
+	}
+	errs := make([]error, n)
+	if procs = Procs(procs); procs <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = call(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for g := 0; g < min(procs, n); g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					errs[i] = call(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -41,7 +41,6 @@ func (v *Worker) StealOldestCilk() *Context {
 	if v.PC < d.BodyStart || v.PC >= d.EpilogueStart {
 		return nil
 	}
-	memory := v.M.Mem
 
 	var scratch [isa.NumCalleeSave]int64
 	for i := range scratch {
@@ -70,15 +69,15 @@ func (v *Worker) StealOldestCilk() *Context {
 		}
 		frames = append(frames, frameInfo{fp, d})
 		for k, r := range d.SavedRegs {
-			scratch[r-isa.R0] = memory.Load(fp - int64(3+k))
+			scratch[r-isa.R0] = v.memLoad(fp - int64(3+k))
 		}
-		ret := memory.Load(fp - 1)
-		parent := memory.Load(fp - 2)
+		ret := v.memLoad(fp - 1)
+		parent := v.memLoad(fp - 2)
 		if ret == MagicHalt || ret == MagicSched {
 			break
 		}
 		if ret < 0 {
-			t, ok := v.M.thunks[ret]
+			t, ok := v.peekThunk(ret)
 			if !ok {
 				v.fail(ret, "cilk steal walk hit unknown magic pc")
 			}
@@ -118,8 +117,8 @@ func (v *Worker) StealOldestCilk() *Context {
 	if bThunkPC != 0 {
 		delete(v.M.thunks, bThunkPC)
 	}
-	memory.Store(bChild-1, MagicSched)
-	memory.Store(bChild-2, 0)
+	v.memStore(bChild-1, MagicSched)
+	v.memStore(bChild-2, 0)
 	for _, f := range frames[bIndex:] {
 		if v.Local(f.fp) {
 			v.exportFrame(f.fp, f.d)

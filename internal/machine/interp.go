@@ -48,7 +48,6 @@ func (w *Worker) Run(budget int64) (ev Event) {
 
 	code := w.M.Prog.Code
 	cost := &w.M.Cost.OpCost
-	memory := w.M.Mem
 
 	for {
 		pc := w.PC
@@ -59,7 +58,7 @@ func (w *Worker) Run(budget int64) (ev Event) {
 			case MagicSched:
 				return EvBottom
 			default:
-				t, ok := w.M.takeThunk(pc)
+				t, ok := w.takeThunk(pc)
 				if !ok {
 					w.fail(pc, "jump to unknown magic pc")
 				}
@@ -132,15 +131,15 @@ func (w *Worker) Run(budget int64) (ev Event) {
 		case isa.MulI:
 			w.Regs[in.Rd] = w.Regs[in.Ra] * in.Imm
 		case isa.Load:
-			w.Regs[in.Rd] = memory.Load(w.Regs[in.Ra] + in.Imm)
+			w.Regs[in.Rd] = w.memLoad(w.Regs[in.Ra] + in.Imm)
 		case isa.Store:
-			memory.Store(w.Regs[in.Ra]+in.Imm, w.Regs[in.Rb])
+			w.memStore(w.Regs[in.Ra]+in.Imm, w.Regs[in.Rb])
 		case isa.Tas:
 			// Atomic under the discrete-event scheduler: instructions are
 			// indivisible across workers.
 			a := w.Regs[in.Ra] + in.Imm
-			w.Regs[in.Rd] = memory.Load(a)
-			memory.Store(a, 1)
+			w.Regs[in.Rd] = w.memLoad(a)
+			w.memStore(a, 1)
 		case isa.Jmp:
 			next = in.Imm
 		case isa.JmpReg:

@@ -136,6 +136,10 @@ type Machine struct {
 	thunks    map[int64]*thunk
 	nextThunk int64
 	rng       uint64
+
+	// storeHook, when non-nil, observes the address of every
+	// non-speculative shared-memory store (see SetStoreHook in spec.go).
+	storeHook func(a int64)
 }
 
 // thunk is the side record behind a patched return address: when control
@@ -341,6 +345,10 @@ type Worker struct {
 	Obs *obs.WorkerObs
 	// obsStack is the reusable buffer for profiler stack walks.
 	obsStack []int64
+
+	// spec, when non-nil, redirects this worker's shared-state accesses
+	// into a speculative quantum's private view (see spec.go).
+	spec *specState
 }
 
 func newWorker(m *Machine, id int) *Worker {
@@ -394,7 +402,7 @@ func (w *Worker) maxESentinel() int64 { return w.Stack().Hi }
 // updateMaxECell publishes the current segment's topmost exported frame to
 // the worker-local cell read by augmented epilogues.
 func (w *Worker) updateMaxECell() {
-	w.M.Mem.Store(w.WL.Lo+postproc.WLSlotMaxE, w.seg().Exported.TopFP(w.maxESentinel()))
+	w.memStore(w.WL.Lo+postproc.WLSlotMaxE, w.seg().Exported.TopFP(w.maxESentinel()))
 }
 
 // Local reports whether address a lies in any of this worker's stack
@@ -436,7 +444,7 @@ func (w *Worker) sweepSegments() {
 			continue
 		}
 		changed := false
-		for !s.Exported.Empty() && w.M.Mem.Load(s.Exported.Top().FP-1) == 0 {
+		for !s.Exported.Empty() && w.memLoad(s.Exported.Top().FP-1) == 0 {
 			s.Exported.PopTop()
 			w.Stats.Shrinks++
 			changed = true

@@ -1,0 +1,360 @@
+package machine
+
+import (
+	"errors"
+	"slices"
+
+	"repro/internal/exportset"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/obs"
+)
+
+// This file implements speculative quantum execution, the machine half of
+// the host-parallel engine (sched/engine_parallel.go). A speculation runs a
+// worker's next quantum ahead of its scheduler pick against a read-only view
+// of shared state: stores land in a private overlay, shared loads are
+// recorded in a read log, and any operation whose outcome depends on
+// machine-global order (heap allocation, the shared PRNG, thunk creation,
+// program output) aborts the speculation. The worker's architectural state
+// is snapshotted before the quantum and restored immediately after, so
+// between speculation and commit every Worker struct always holds the exact
+// state the sequential oracle would see.
+//
+// The engine later replays picks in oracle order. A speculation whose read
+// log is disjoint from every write performed since its launch is
+// bit-for-bit the run the oracle would have produced, so committing it
+// (installing the post-state, flushing the overlay, consuming thunks and
+// replaying buffered observability emissions) is indistinguishable from
+// running the quantum at the pick.
+
+// errSpecAbort is the sentinel unwound when a speculative quantum reaches an
+// operation that cannot be speculated (see Worker.specForbid).
+var errSpecAbort = errors.New("machine: speculative quantum aborted")
+
+// specState is the private execution view of one speculative quantum.
+type specState struct {
+	// size is the shared memory size at launch; speculative bounds checks
+	// test against it so traps replicate the oracle's exactly (the engine
+	// discards every outstanding speculation if memory grows mid-epoch).
+	size int64
+	// overlay holds speculative stores; loads consult it first.
+	overlay map[int64]int64
+	// reads logs every shared address read (not found in the overlay).
+	reads []int64
+	// thunks lists restart-thunk pcs consumed by this quantum. The shared
+	// map is left untouched; commit performs the deletes.
+	thunks []int64
+	// events, samples and expObs buffer observability emissions that would
+	// otherwise mutate the shared Collector; commit replays them in order.
+	events  []specEvent
+	samples []specSample
+	expObs  []int64
+}
+
+// specEvent is one buffered Collector.Span/Instant emission.
+type specEvent struct {
+	span       bool
+	start, end int64
+	name       string
+	args       []obs.Arg
+}
+
+// specSample is one buffered profiler observation.
+type specSample struct {
+	weight int64
+	pcs    []int64
+}
+
+// consumed reports whether the quantum already took the thunk behind pc
+// (mirroring the map delete the non-speculative path performs).
+func (s *specState) consumed(pc int64) bool {
+	for _, p := range s.thunks {
+		if p == pc {
+			return true
+		}
+	}
+	return false
+}
+
+// memLoad is the worker-side memory read: the overlay-aware, read-logging
+// load during speculation, a plain shared load otherwise.
+func (w *Worker) memLoad(a int64) int64 {
+	s := w.spec
+	if s == nil {
+		return w.M.Mem.Load(a)
+	}
+	if len(s.overlay) != 0 {
+		if v, ok := s.overlay[a]; ok {
+			return v
+		}
+	}
+	if a < mem.Guard || a >= s.size {
+		panic(&mem.Trap{Kind: "load", Addr: a})
+	}
+	s.reads = append(s.reads, a)
+	return w.M.Mem.Load(a)
+}
+
+// memStore is the worker-side memory write: overlay-buffered during
+// speculation; otherwise a shared store, reported to the machine's store
+// hook (the engine's epoch write-conflict record) when one is installed.
+func (w *Worker) memStore(a, v int64) {
+	s := w.spec
+	if s == nil {
+		if h := w.M.storeHook; h != nil {
+			h(a)
+		}
+		w.M.Mem.Store(a, v)
+		return
+	}
+	if a < mem.Guard || a >= s.size {
+		panic(&mem.Trap{Kind: "store", Addr: a})
+	}
+	if s.overlay == nil {
+		s.overlay = make(map[int64]int64, 32)
+	}
+	s.overlay[a] = v
+}
+
+// takeThunk consumes the thunk behind pc on this worker's behalf. During
+// speculation the shared map is only read; the consumption is logged and a
+// second take of the same pc fails exactly as it would after the real
+// delete.
+func (w *Worker) takeThunk(pc int64) (*thunk, bool) {
+	if s := w.spec; s != nil {
+		if s.consumed(pc) {
+			return nil, false
+		}
+		t, ok := w.M.thunks[pc]
+		if ok {
+			s.thunks = append(s.thunks, pc)
+		}
+		return t, ok
+	}
+	return w.M.takeThunk(pc)
+}
+
+// peekThunk is the read-only thunk lookup used by stack walks (CountThreads,
+// the invariant checker, the profiler): it respects speculative consumption
+// without consuming anything itself.
+func (w *Worker) peekThunk(pc int64) (*thunk, bool) {
+	t, ok := w.M.thunks[pc]
+	if ok && w.spec != nil && w.spec.consumed(pc) {
+		return nil, false
+	}
+	return t, ok
+}
+
+// newThunkPC registers a restart thunk. Thunk pcs are drawn from a
+// machine-global counter, so creating one is order-dependent and aborts any
+// speculation in progress.
+func (w *Worker) newThunkPC(t *thunk) int64 {
+	w.specForbid()
+	return w.M.newThunkPC(t)
+}
+
+// specForbid aborts the speculative quantum, if any: the caller is about to
+// perform an operation whose outcome depends on machine-global order (heap
+// bump allocation, the shared PRNG, thunk numbering, program output). The
+// quantum will rerun non-speculatively at its oracle pick.
+func (w *Worker) specForbid() {
+	if w.spec != nil {
+		panic(errSpecAbort)
+	}
+}
+
+// obsInstant emits an instant event on this worker's track, buffering it
+// during speculation. Callers guard on w.Obs != nil.
+func (w *Worker) obsInstant(t int64, name string, args ...obs.Arg) {
+	if s := w.spec; s != nil {
+		s.events = append(s.events, specEvent{start: t, name: name, args: args})
+		return
+	}
+	w.M.Opts.Obs.Instant(t, w.ID, name, args...)
+}
+
+// obsSpan emits a span event on this worker's track, buffering it during
+// speculation. Callers guard on w.Obs != nil.
+func (w *Worker) obsSpan(start, end int64, name string, args ...obs.Arg) {
+	if s := w.spec; s != nil {
+		s.events = append(s.events, specEvent{span: true, start: start, end: end, name: name, args: args})
+		return
+	}
+	w.M.Opts.Obs.Span(start, end, w.ID, name, args...)
+}
+
+// segSnap is one stack segment's restorable state. Segment identity and
+// regions never change inside a quantum (mapping new segments is a
+// scheduler-level operation), so only the exported set needs copying.
+type segSnap struct {
+	exported exportset.Set
+}
+
+// workerSnap is a worker's complete architectural state at a quantum
+// boundary. Context pointers are shared, not copied: a Context is immutable
+// once built.
+type workerSnap struct {
+	regs   [isa.NumRegs]int64
+	pc     int64
+	cycles int64
+	err    error
+	stats  Stats
+	cur    int
+	poll   bool
+	ready  []*Context
+	free   []int
+	segs   []segSnap
+	obs    obs.WorkerObs
+}
+
+// capture snapshots the worker's architectural state.
+func (w *Worker) capture() *workerSnap {
+	s := &workerSnap{
+		regs:   w.Regs,
+		pc:     w.PC,
+		cycles: w.Cycles,
+		err:    w.Err,
+		stats:  w.Stats,
+		cur:    w.cur,
+		poll:   w.PollSignal,
+		ready:  slices.Clone(w.ReadyQ.items),
+		free:   slices.Clone(w.free),
+	}
+	for _, sg := range w.Segs {
+		s.segs = append(s.segs, segSnap{exported: sg.Exported.Clone()})
+	}
+	if w.Obs != nil {
+		s.obs = w.Obs.Snapshot()
+	}
+	return s
+}
+
+// restore installs a previously captured state. The snapshot's slices move
+// into the worker (each snapshot is restored at most once).
+func (w *Worker) restore(s *workerSnap) {
+	if len(s.segs) != len(w.Segs) {
+		panic("machine: segment count changed inside a speculative quantum")
+	}
+	w.Regs = s.regs
+	w.PC = s.pc
+	w.Cycles = s.cycles
+	w.Err = s.err
+	w.Stats = s.stats
+	w.cur = s.cur
+	w.PollSignal = s.poll
+	w.ReadyQ.items = s.ready
+	w.free = s.free
+	for i := range s.segs {
+		w.Segs[i].Exported = s.segs[i].exported
+	}
+	if w.Obs != nil {
+		w.Obs.Restore(s.obs)
+	}
+}
+
+// SpecResult is one completed speculative quantum, held by the parallel
+// engine until the worker's oracle pick validates or discards it.
+type SpecResult struct {
+	// Ev is the event Run returned at the end of the quantum.
+	Ev Event
+
+	startCycles int64
+	startPoll   bool
+	post        *workerSnap
+	st          *specState
+}
+
+// Reads returns the shared addresses the quantum loaded (unsorted, may
+// repeat).
+func (r *SpecResult) Reads() []int64 { return r.st.reads }
+
+// ConsumedThunks returns the restart-thunk pcs the quantum consumed.
+func (r *SpecResult) ConsumedThunks() []int64 { return r.st.thunks }
+
+// Matches reports whether w still holds the state the speculation launched
+// from (the engine's cheap sanity gate; the scheduler never advances a
+// running worker between launch and pick except by raising PollSignal).
+func (r *SpecResult) Matches(w *Worker) bool {
+	return w.Cycles == r.startCycles && w.PollSignal == r.startPoll
+}
+
+// Speculate runs one quantum of budget cycles speculatively and restores the
+// worker's pre-quantum state before returning. It returns nil when the
+// quantum cannot be speculated (instruction tracing on, or an
+// order-dependent global operation was reached); the engine then reruns the
+// quantum directly at the worker's pick. Any panic other than a simulated
+// trap is treated as an abort too — if it reflects a real fault the oracle
+// can reach, the direct rerun reproduces it deterministically.
+func (w *Worker) Speculate(budget int64) (res *SpecResult) {
+	if w.M.Opts.Trace != nil {
+		return nil
+	}
+	snap := w.capture()
+	st := &specState{size: w.M.Mem.Size()}
+	w.spec = st
+	defer func() {
+		w.spec = nil
+		if recover() != nil {
+			// The abort sentinel and any other panic both discard the
+			// speculation; the worker returns to its launch state.
+			w.restore(snap)
+			res = nil
+		}
+	}()
+	ev := w.Run(budget)
+	post := w.capture()
+	w.restore(snap)
+	return &SpecResult{Ev: ev, startCycles: snap.cycles, startPoll: snap.poll, post: post, st: st}
+}
+
+// CommitSpec adopts a validated speculation at the worker's oracle pick:
+// install the post-quantum state, flush the overlay to shared memory
+// (through the store hook, so later validations see these writes), consume
+// the logged thunks, and replay buffered observability emissions in program
+// order.
+func (w *Worker) CommitSpec(r *SpecResult) {
+	w.restore(r.post)
+	if len(r.st.overlay) > 0 {
+		addrs := make([]int64, 0, len(r.st.overlay))
+		for a := range r.st.overlay {
+			addrs = append(addrs, a)
+		}
+		slices.Sort(addrs)
+		for _, a := range addrs {
+			w.memStore(a, r.st.overlay[a])
+		}
+	}
+	for _, pc := range r.st.thunks {
+		delete(w.M.thunks, pc)
+	}
+	if c := w.M.Opts.Obs; c != nil {
+		for _, e := range r.st.events {
+			if e.span {
+				c.Span(e.start, e.end, w.ID, e.name, e.args...)
+			} else {
+				c.Instant(e.start, w.ID, e.name, e.args...)
+			}
+		}
+		for _, v := range r.st.expObs {
+			c.ExportedSize.Observe(v)
+		}
+		for _, sm := range r.st.samples {
+			w.Obs.AddSample(sm.weight, sm.pcs)
+		}
+	}
+}
+
+// HasThunk reports whether the thunk behind pc is still registered (the
+// engine validates that a speculation's consumed thunks were not taken by
+// an earlier-committed quantum).
+func (m *Machine) HasThunk(pc int64) bool {
+	_, ok := m.thunks[pc]
+	return ok
+}
+
+// SetStoreHook installs (or clears, with nil) the observer called with the
+// address of every non-speculative shared-memory store. The parallel engine
+// uses it to record the epoch's write set; it must only be changed when no
+// speculation is executing.
+func (m *Machine) SetStoreHook(h func(a int64)) { m.storeHook = h }

@@ -1,0 +1,216 @@
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/machine"
+)
+
+// This file is the host-parallel engine. It reproduces the sequential
+// engine's behavior bit for bit while using multiple host cores, by
+// speculating quanta ahead of the oracle's picks:
+//
+// The coordinator goroutine runs the exact sequential pick loop — next()
+// always selects the least-advanced actionable worker, with ties broken by
+// the lowest index. Whenever no speculation is outstanding and at least two
+// workers are running, it launches an epoch: every running worker's next
+// quantum executes concurrently on the host (machine.Worker.Speculate),
+// against a frozen view of shared state. During the parallel phase the
+// coordinator blocks, no shared state is written (speculative stores go to
+// private overlays; every worker's architectural state is restored before
+// Speculate returns), so the phase is read-only and race-free by
+// construction.
+//
+// Picks then replay in oracle order. At a running worker's pick its
+// speculation is adopted iff it provably equals the quantum the oracle
+// would run right now:
+//
+//  1. the worker still holds its launch state (its clock and poll signal
+//     are untouched — the scheduler advances a running worker in no other
+//     way),
+//  2. shared memory has not been remapped since launch (the size is
+//     unchanged), and no address the quantum read has been stored to —
+//     every non-speculative store since launch is recorded via the
+//     machine's store hook, including overlay flushes of earlier commits
+//     and the coordinator's own barrier-time writes,
+//  3. every restart thunk the quantum consumed is still registered.
+//
+// An adopted speculation commits (post-state installed, overlay flushed
+// through the store hook, thunks consumed, buffered observability replayed
+// in program order); otherwise the quantum simply reruns on the coordinator
+// like the sequential engine would. Operations whose outcome depends on
+// machine-global order — heap allocation, the shared PRNG, thunk
+// numbering, program output — abort the speculation at execution time, so
+// they only ever run non-speculatively, in oracle order.
+//
+// Since every pick either reruns the quantum directly or commits a
+// speculation proven equal to that rerun, the engine's sequence of state
+// transitions — and therefore Result, metrics, and event log — is
+// byte-identical to the sequential engine's for every configuration and
+// seed. The sequential engine stays on as the differential oracle
+// (TestEngineDifferential).
+//
+// One regime needs extra care: Cilk steals are thief-driven, so an idle
+// step can mutate a *running* victim (readyq pop or a direct stack detach)
+// mid-epoch. A later commit or restore of that victim's speculation would
+// resurrect the stolen work, so a successful Cilk steal discards every
+// outstanding speculation. ST-mode steals only post a request and raise
+// the victim's poll signal, which validation condition 1 catches.
+// testHookSpecStats, when set (white-box tests only), receives the engine's
+// speculation outcome counts when a parallel loop returns.
+var testHookSpecStats func(commits, reruns int64)
+
+func (s *scheduler) loopParallel() error {
+	procs := s.cfg.HostProcs
+	if procs <= 0 {
+		procs = runtime.GOMAXPROCS(0)
+	}
+	var commits, reruns int64
+	if testHookSpecStats != nil {
+		defer func() { testHookSpecStats(commits, reruns) }()
+	}
+	// With one host slot there is nothing to overlap; with instruction
+	// tracing on, Speculate refuses anyway (trace order must match the
+	// oracle). Fall back to pure direct execution.
+	serialOnly := procs < 2 || s.m.Opts.Trace != nil
+
+	n := len(s.m.Workers)
+	specs := make([]*machine.SpecResult, n)
+	outstanding := 0
+	// writes is the epoch's write set: every shared address stored
+	// non-speculatively since the last launch.
+	writes := make(map[int64]struct{})
+	var memSize int64
+	hook := func(a int64) { writes[a] = struct{}{} }
+
+	discardAll := func() {
+		for i := range specs {
+			specs[i] = nil
+		}
+		outstanding = 0
+		s.m.SetStoreHook(nil)
+	}
+
+	runnable := make([]int, 0, n)
+	launch := func() {
+		if serialOnly {
+			return
+		}
+		runnable = runnable[:0]
+		for i := range s.status {
+			if s.status[i] == running {
+				runnable = append(runnable, i)
+			}
+		}
+		if len(runnable) < 2 {
+			return
+		}
+		clear(writes)
+		memSize = s.m.Mem.Size()
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for g := 0; g < min(procs, len(runnable)); g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					k := int(next.Add(1)) - 1
+					if k >= len(runnable) {
+						return
+					}
+					i := runnable[k]
+					specs[i] = s.m.Workers[i].Speculate(s.cfg.Quantum)
+				}
+			}()
+		}
+		wg.Wait()
+		for _, i := range runnable {
+			if specs[i] != nil {
+				outstanding++
+			}
+		}
+		if outstanding > 0 {
+			s.m.SetStoreHook(hook)
+		}
+	}
+
+	valid := func(i int, r *machine.SpecResult) bool {
+		if !r.Matches(s.m.Workers[i]) {
+			return false
+		}
+		if s.m.Mem.Size() != memSize {
+			return false
+		}
+		for _, a := range r.Reads() {
+			if _, ok := writes[a]; ok {
+				return false
+			}
+		}
+		for _, pc := range r.ConsumedThunks() {
+			if !s.m.HasThunk(pc) {
+				return false
+			}
+		}
+		return true
+	}
+
+	for {
+		i := s.next()
+		if i < 0 {
+			return fmt.Errorf("sched: deadlock: no runnable worker (all waiting)")
+		}
+		w := s.m.Workers[i]
+		if w.Cycles > s.cfg.MaxCycles {
+			return fmt.Errorf("sched: exceeded MaxCycles=%d", s.cfg.MaxCycles)
+		}
+
+		if s.status[i] == idle {
+			steals0 := s.res.Steals
+			s.stepIdle(i)
+			if s.cfg.Mode == ModeCilk && s.res.Steals != steals0 && outstanding > 0 {
+				// A thief-driven steal mutated a running victim mid-epoch;
+				// no outstanding speculation can be trusted to restore over
+				// it (see the file comment).
+				discardAll()
+			}
+			if done, err := s.quiescent(); done {
+				return err
+			}
+			continue
+		}
+
+		if outstanding == 0 {
+			launch()
+		}
+
+		var ev machine.Event
+		if r := specs[i]; r != nil {
+			specs[i] = nil
+			outstanding--
+			if valid(i, r) {
+				w.CommitSpec(r)
+				ev = r.Ev
+				commits++
+			} else {
+				ev = w.Run(s.cfg.Quantum)
+				reruns++
+			}
+		} else {
+			ev = w.Run(s.cfg.Quantum)
+			reruns++
+		}
+		done, err := s.handleEvent(i, ev)
+		if outstanding == 0 {
+			// The epoch has fully drained (after handleEvent, so barrier-
+			// time writes were still recorded for any remaining
+			// validations). Stop recording until the next launch.
+			s.m.SetStoreHook(nil)
+		}
+		if done {
+			return err
+		}
+	}
+}

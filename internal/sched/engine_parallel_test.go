@@ -1,0 +1,74 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/mem"
+)
+
+// runParallel drives a workload through the parallel engine directly
+// (white-box: core would hide the speculation counters).
+func runParallel(t *testing.T, w *apps.Workload, mode Mode, workers int, procs int) (commits, reruns int64) {
+	t.Helper()
+	prog, err := w.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap := w.HeapWords
+	if heap == 0 {
+		heap = 1 << 20
+	}
+	m := machine.New(prog, mem.New(heap), isa.SPARC(), workers, machine.Options{
+		CilkCost: mode == ModeCilk,
+		Seed:     1,
+	})
+	args := w.Args
+	if w.Setup != nil {
+		if args, err = w.Setup(m.Mem); err != nil {
+			t.Fatal(err)
+		}
+	}
+	testHookSpecStats = func(c, r int64) { commits, reruns = c, r }
+	defer func() { testHookSpecStats = nil }()
+	if _, err := Run(m, w.Entry, args, Config{
+		Mode: mode, Seed: 1, Engine: EngineParallel, HostProcs: procs,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return commits, reruns
+}
+
+// TestParallelEngineSpeculates guards against the parallel engine silently
+// degrading into rerun-everything: on a steal-heavy multi-worker run a
+// substantial share of quanta must commit speculatively.
+func TestParallelEngineSpeculates(t *testing.T) {
+	commits, reruns := runParallel(t, apps.Fib(18, apps.ST), ModeST, 4, 4)
+	if commits == 0 {
+		t.Fatalf("no speculative commits (reruns=%d)", reruns)
+	}
+	if total := commits + reruns; commits*5 < total {
+		t.Errorf("commit rate too low: %d/%d", commits, total)
+	}
+	t.Logf("ST: commits=%d reruns=%d", commits, reruns)
+
+	commits, reruns = runParallel(t, apps.Fib(18, apps.ST), ModeCilk, 4, 4)
+	if commits == 0 {
+		t.Fatalf("cilk: no speculative commits (reruns=%d)", reruns)
+	}
+	t.Logf("Cilk: commits=%d reruns=%d", commits, reruns)
+}
+
+// TestParallelEngineSerialFallback checks the degenerate configurations run
+// through the direct path and still finish correctly.
+func TestParallelEngineSerialFallback(t *testing.T) {
+	commits, _ := runParallel(t, apps.Fib(14, apps.ST), ModeST, 3, 1)
+	if commits != 0 {
+		t.Fatalf("HostProcs=1 must not speculate, got %d commits", commits)
+	}
+	if c, _ := runParallel(t, apps.Fib(14, apps.ST), ModeST, 1, 8); c != 0 {
+		t.Fatalf("single worker must not speculate, got %d commits", c)
+	}
+}

@@ -61,6 +61,28 @@ const (
 	StealYoungest
 )
 
+// Engine selects the host execution strategy. Both engines produce
+// byte-identical results for the same configuration and seed; see
+// engine_parallel.go for the argument.
+type Engine int
+
+// Host execution strategies.
+const (
+	// EngineSequential steps the least-advanced worker on the calling
+	// goroutine — the reference engine and differential oracle.
+	EngineSequential Engine = iota
+	// EngineParallel speculates upcoming quanta on multiple host goroutines
+	// and commits them in the oracle's pick order.
+	EngineParallel
+)
+
+func (e Engine) String() string {
+	if e == EngineParallel {
+		return "parallel"
+	}
+	return "sequential"
+}
+
 // Config tunes the scheduler.
 type Config struct {
 	Mode   Mode
@@ -72,6 +94,11 @@ type Config struct {
 	Seed uint64
 	// MaxCycles aborts runaway simulations (default 50 billion).
 	MaxCycles int64
+	// Engine selects the host execution strategy (default sequential).
+	Engine Engine
+	// HostProcs caps the goroutines the parallel engine speculates on
+	// (default runtime.GOMAXPROCS(0)).
+	HostProcs int
 	// Events, when non-nil, collects the run's migration-level history.
 	Events *EventLog
 	// Obs, when non-nil, receives cycle-phase attribution for scheduler
@@ -149,7 +176,11 @@ func Run(m *machine.Machine, entry string, args []int64, cfg Config) (*Result, e
 	}
 	m.Workers[0].StartCall(entryPC, args)
 
-	err := s.protectedLoop()
+	loop := s.loop
+	if cfg.Engine == EngineParallel {
+		loop = s.loopParallel
+	}
+	err := s.protected(loop)
 	if err != nil {
 		return nil, err
 	}
@@ -181,10 +212,10 @@ func (s *scheduler) next() int {
 	return best
 }
 
-// protectedLoop converts runtime faults raised by scheduler-driven machine
+// protected converts runtime faults raised by scheduler-driven machine
 // operations (suspend/restart/shrink outside a worker's own Run) into
 // errors, like Worker.Run does for faults in simulated code.
-func (s *scheduler) protectedLoop() (err error) {
+func (s *scheduler) protected(fn func() error) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if e, ok := r.(error); ok {
@@ -194,7 +225,7 @@ func (s *scheduler) protectedLoop() (err error) {
 			panic(r)
 		}
 	}()
-	return s.loop()
+	return fn()
 }
 
 func (s *scheduler) loop() error {
@@ -209,62 +240,78 @@ func (s *scheduler) loop() error {
 		}
 
 		if s.status[i] == idle {
-			if w.Cycles < s.wakeAt[i] {
-				if w.Obs != nil {
-					w.Obs.Charge(obs.PhaseIdle, s.wakeAt[i]-w.Cycles)
-				}
-				w.Cycles = s.wakeAt[i]
-			}
-			s.attemptSteal(i)
+			s.stepIdle(i)
 			if done, err := s.quiescent(); done {
 				return err
 			}
 			continue
 		}
 
-		switch ev := w.Run(s.cfg.Quantum); ev {
-		case machine.EvBudget:
-			// slice over; reschedule
-		case machine.EvHalt:
-			s.res.RV = w.Regs[isa.RV]
-			s.res.Time = w.Cycles
-			s.status[i] = halted
-			s.cfg.Events.add(TraceEvent{Time: w.Cycles, Kind: TraceHalt, Worker: i, From: -1})
-			s.cfg.Obs.Instant(w.Cycles, i, "halt")
-			return nil
-		case machine.EvBottom:
-			w.Shrink()
-			if c := w.ReadyQ.PopHead(); c != nil {
-				s.cfg.Events.add(TraceEvent{Time: w.Cycles, Kind: TraceResume, Worker: i, From: -1,
-					Frame: c.Top, ResumePC: c.ResumePC})
-				if s.cfg.Obs != nil {
-					s.cfg.Obs.Instant(w.Cycles, i, "resume", obs.Arg{K: "frame", V: c.Top})
-					s.cfg.Obs.CounterSample(w.Cycles, i, "readyq", int64(w.ReadyQ.Len()))
-				}
-				w.StartThread(c)
-				continue
-			}
-			s.cfg.Events.add(TraceEvent{Time: w.Cycles, Kind: TraceIdle, Worker: i, From: -1})
-			s.cfg.Obs.Instant(w.Cycles, i, "idle")
-			s.goIdle(i, w.Cycles)
-			if done, err := s.quiescent(); done {
-				return err
-			}
-		case machine.EvPoll:
-			s.servicePoll(i)
-		case machine.EvBlocked:
-			// Spin on the contended lock; virtual time passes so the
-			// holder gets scheduled.
-			w.Cycles += 8
-			if w.Obs != nil {
-				w.Obs.Charge(obs.PhaseIdle, 8)
-			}
-		case machine.EvTrap:
-			return w.Err
-		default:
-			return fmt.Errorf("sched: unexpected event %v from worker %d", ev, i)
+		if done, err := s.handleEvent(i, w.Run(s.cfg.Quantum)); done {
+			return err
 		}
 	}
+}
+
+// stepIdle advances idle worker i to its wake time and runs one steal
+// attempt.
+func (s *scheduler) stepIdle(i int) {
+	w := s.m.Workers[i]
+	if w.Cycles < s.wakeAt[i] {
+		if w.Obs != nil {
+			w.Obs.Charge(obs.PhaseIdle, s.wakeAt[i]-w.Cycles)
+		}
+		w.Cycles = s.wakeAt[i]
+	}
+	s.attemptSteal(i)
+}
+
+// handleEvent processes the event worker i's quantum ended with. done
+// reports the run is over: err is nil on a clean halt, the fault on a trap,
+// and the deadlock report when the last worker went idle with no work left.
+func (s *scheduler) handleEvent(i int, ev machine.Event) (bool, error) {
+	w := s.m.Workers[i]
+	switch ev {
+	case machine.EvBudget:
+		// slice over; reschedule
+	case machine.EvHalt:
+		s.res.RV = w.Regs[isa.RV]
+		s.res.Time = w.Cycles
+		s.status[i] = halted
+		s.cfg.Events.add(TraceEvent{Time: w.Cycles, Kind: TraceHalt, Worker: i, From: -1})
+		s.cfg.Obs.Instant(w.Cycles, i, "halt")
+		return true, nil
+	case machine.EvBottom:
+		w.Shrink()
+		if c := w.ReadyQ.PopHead(); c != nil {
+			s.cfg.Events.add(TraceEvent{Time: w.Cycles, Kind: TraceResume, Worker: i, From: -1,
+				Frame: c.Top, ResumePC: c.ResumePC})
+			if s.cfg.Obs != nil {
+				s.cfg.Obs.Instant(w.Cycles, i, "resume", obs.Arg{K: "frame", V: c.Top})
+				s.cfg.Obs.CounterSample(w.Cycles, i, "readyq", int64(w.ReadyQ.Len()))
+			}
+			w.StartThread(c)
+			return false, nil
+		}
+		s.cfg.Events.add(TraceEvent{Time: w.Cycles, Kind: TraceIdle, Worker: i, From: -1})
+		s.cfg.Obs.Instant(w.Cycles, i, "idle")
+		s.goIdle(i, w.Cycles)
+		return s.quiescent()
+	case machine.EvPoll:
+		s.servicePoll(i)
+	case machine.EvBlocked:
+		// Spin on the contended lock; virtual time passes so the
+		// holder gets scheduled.
+		w.Cycles += 8
+		if w.Obs != nil {
+			w.Obs.Charge(obs.PhaseIdle, 8)
+		}
+	case machine.EvTrap:
+		return true, w.Err
+	default:
+		return true, fmt.Errorf("sched: unexpected event %v from worker %d", ev, i)
+	}
+	return false, nil
 }
 
 func (s *scheduler) goIdle(i int, at int64) {

@@ -1,12 +1,23 @@
 package sched_test
 
 import (
+	"os"
+	"strconv"
 	"testing"
 
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/sched"
 )
+
+// stressSeeds returns how many seeds the stress sweep covers: 12 by
+// default, widened by the nightly workflow through ST_STRESS_SEEDS.
+func stressSeeds() uint64 {
+	if v, err := strconv.Atoi(os.Getenv("ST_STRESS_SEEDS")); err == nil && v > 0 {
+		return uint64(v)
+	}
+	return 12
+}
 
 // TestStressManySeeds runs blocking-heavy workloads across many scheduler
 // seeds with the invariant checker on: every seed produces a different
@@ -23,7 +34,7 @@ func TestStressManySeeds(t *testing.T) {
 		func() *apps.Workload { return apps.Staircase(8, 10) },
 	}
 	for _, mode := range []core.Mode{core.StackThreads, core.Cilk} {
-		for seed := uint64(0); seed < 12; seed++ {
+		for seed := uint64(0); seed < stressSeeds(); seed++ {
 			for _, f := range mk {
 				w := f()
 				_, err := core.Run(w, core.Config{
