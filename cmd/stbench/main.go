@@ -30,6 +30,7 @@ func main() {
 		ablate    = flag.Bool("ablate", false, "run the design-choice ablations instead of a figure")
 		engine    = flag.String("engine", "default", "host engine per run: sequential or parallel")
 		hostprocs = flag.Int("hostprocs", 0, "host cores for fanning data points and the parallel engine (0 = all)")
+		maxcycles = flag.Int64("maxcycles", 0, "per-run total work-cycle budget (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -38,7 +39,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "stbench:", err)
 		os.Exit(2)
 	}
-	opts := figures.Opts{HostProcs: *hostprocs, Engine: eng}
+	opts := figures.Opts{HostProcs: *hostprocs, Engine: eng, MaxWorkCycles: *maxcycles}
 
 	sc := figures.Quick
 	if *full {

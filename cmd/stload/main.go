@@ -1,0 +1,193 @@
+// Command stload is a closed-loop load generator for stserve: at each
+// offered concurrency level it keeps that many synchronous requests in
+// flight (each client submits with "wait":true and immediately re-submits
+// when the response lands), then reports throughput and latency
+// percentiles per level.
+//
+// Usage:
+//
+//	stload -addr http://127.0.0.1:8135 -app fib -workers 8 -c 1,2,4 -n 100
+//	stload -app fib,cilksort -seeds 0 -n 200      # mixed, all-cold workload
+//	stload -app fib -seeds 1 -n 200               # one tuple: cache-hit path
+//
+// -seeds S cycles seeds 1..S across requests (S=1 repeats one canonical
+// tuple, measuring the cache-hit path; S=0 gives every request a unique
+// seed, measuring cold runs).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type jobView struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Cache string `json:"cache"`
+	Error string `json:"error"`
+}
+
+type levelStats struct {
+	mu        sync.Mutex
+	latencies []time.Duration
+	hits      int64
+	errors    int64
+	rejected  int64
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func main() {
+	var (
+		addr      = flag.String("addr", "http://127.0.0.1:8135", "stserve base URL")
+		appsFlag  = flag.String("app", "fib", "comma-separated benchmark names, cycled per request")
+		mode      = flag.String("mode", "st", "execution mode: seq, st, cilk")
+		workers   = flag.Int("workers", 4, "virtual workers per job")
+		full      = flag.Bool("full", false, "paper-scale inputs")
+		engine    = flag.String("engine", "", "host engine per job: sequential or parallel")
+		levels    = flag.String("c", "1,2,4", "comma-separated offered concurrency levels")
+		n         = flag.Int("n", 100, "requests per level")
+		seeds     = flag.Uint64("seeds", 1, "cycle seeds 1..N (1 = one tuple; 0 = unique seed per request)")
+		priority  = flag.Int("priority", 0, "job priority")
+		nocache   = flag.Bool("nocache", false, "bypass the server's result cache")
+		maxcycles = flag.Int64("maxcycles", 0, "per-job work-cycle budget")
+		timeout   = flag.Duration("timeout", 5*time.Minute, "HTTP client timeout per request")
+	)
+	flag.Parse()
+
+	appList := strings.Split(*appsFlag, ",")
+	var levelList []int
+	for _, s := range strings.Split(*levels, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || v <= 0 {
+			fmt.Fprintf(os.Stderr, "stload: bad concurrency level %q\n", s)
+			os.Exit(2)
+		}
+		levelList = append(levelList, v)
+	}
+	client := &http.Client{Timeout: *timeout}
+
+	var totalCompleted int64
+	fmt.Printf("%-6s %10s %8s %8s %8s %12s %10s %10s %10s %10s\n",
+		"conc", "completed", "errors", "429s", "hits", "thr req/s", "p50", "p90", "p99", "max")
+	for _, c := range levelList {
+		st := &levelStats{}
+		var seq atomic.Int64
+		start := time.Now()
+		var wg sync.WaitGroup
+		for g := 0; g < c; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					k := seq.Add(1) - 1
+					if k >= int64(*n) {
+						return
+					}
+					seed := uint64(k) + 1
+					if *seeds > 0 {
+						seed = uint64(k)%*seeds + 1
+					}
+					req := map[string]any{
+						"app":     appList[int(k)%len(appList)],
+						"mode":    *mode,
+						"workers": *workers,
+						"seed":    seed,
+						"wait":    true,
+					}
+					if *full {
+						req["full"] = true
+					}
+					if *engine != "" {
+						req["engine"] = *engine
+					}
+					if *priority != 0 {
+						req["priority"] = *priority
+					}
+					if *nocache {
+						req["no_cache"] = true
+					}
+					if *maxcycles > 0 {
+						req["max_work_cycles"] = *maxcycles
+					}
+					body, _ := json.Marshal(req)
+					t0 := time.Now()
+					view, status, err := post(client, *addr+"/jobs", body)
+					lat := time.Since(t0)
+					st.mu.Lock()
+					switch {
+					case err != nil:
+						st.errors++
+					case status == http.StatusTooManyRequests:
+						// Closed-loop backpressure: honor Retry-After and
+						// re-offer the same request slot.
+						st.rejected++
+						seq.Add(-1)
+						st.mu.Unlock()
+						time.Sleep(500 * time.Millisecond)
+						continue
+					case status != http.StatusOK || view.State != "done":
+						st.errors++
+					default:
+						st.latencies = append(st.latencies, lat)
+						if view.Cache == "hit" {
+							st.hits++
+						}
+					}
+					st.mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+
+		sort.Slice(st.latencies, func(i, j int) bool { return st.latencies[i] < st.latencies[j] })
+		completed := len(st.latencies)
+		totalCompleted += int64(completed)
+		thr := float64(completed) / elapsed.Seconds()
+		fmt.Printf("c=%-4d %10d %8d %8d %8d %12.1f %10v %10v %10v %10v\n",
+			c, completed, st.errors, st.rejected, st.hits, thr,
+			percentile(st.latencies, 0.50).Round(time.Microsecond),
+			percentile(st.latencies, 0.90).Round(time.Microsecond),
+			percentile(st.latencies, 0.99).Round(time.Microsecond),
+			percentile(st.latencies, 1.00).Round(time.Microsecond))
+	}
+	fmt.Printf("total completed=%d\n", totalCompleted)
+	if totalCompleted == 0 {
+		os.Exit(1)
+	}
+}
+
+func post(client *http.Client, url string, body []byte) (jobView, int, error) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return jobView{}, 0, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return jobView{}, resp.StatusCode, err
+	}
+	var v jobView
+	if err := json.Unmarshal(b, &v); err != nil {
+		return jobView{}, resp.StatusCode, fmt.Errorf("bad response %q: %w", b, err)
+	}
+	return v, resp.StatusCode, nil
+}

@@ -32,6 +32,7 @@ func main() {
 		list      = flag.Bool("list", false, "list benchmarks and exit")
 		engine    = flag.String("engine", "default", "host engine: sequential or parallel (identical results)")
 		hostprocs = flag.Int("hostprocs", 0, "host cores for the parallel engine (0 = all)")
+		maxcycles = flag.Int64("maxcycles", 0, "abort after this many total work cycles (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -59,6 +60,7 @@ func main() {
 		CheckInvariants: *check,
 		Engine:          eng,
 		HostProcs:       *hostprocs,
+		MaxWorkCycles:   *maxcycles,
 		Out:             os.Stdout,
 	}
 	switch *mode {

@@ -1,0 +1,82 @@
+// Command stserve runs the job-execution service: an HTTP+JSON API that
+// accepts StackThreads/Cilk simulation jobs, multiplexes them across host
+// cores, caches deterministic results, and drains gracefully on SIGTERM.
+//
+// Usage:
+//
+//	stserve -addr :8135 -hostprocs 4 -queue 64 -cache 256
+//
+// API (see internal/server):
+//
+//	POST   /jobs        {"app":"fib","mode":"st","workers":8,"seed":1,"wait":true}
+//	GET    /jobs/{id}   status; ?wait=1 blocks until terminal
+//	DELETE /jobs/{id}   cancel
+//	GET    /metrics     metrics registry snapshot
+//	GET    /healthz     liveness
+//
+// On SIGTERM/SIGINT the server stops admitting (503), finishes every
+// accepted job, flushes a final metrics snapshot to stdout, and exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/hostpar"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8135", "listen address")
+		queue     = flag.Int("queue", 64, "admission queue bound (full = HTTP 429)")
+		hostprocs = flag.Int("hostprocs", 0, "executor slots: jobs running concurrently (0 = all cores)")
+		cache     = flag.Int("cache", 256, "result cache entries (negative disables)")
+		timeout   = flag.Duration("timeout", 0, "default per-job execution deadline (0 = none)")
+		maxcycles = flag.Int64("maxcycles", 0, "server-wide work-cycle ceiling per job (0 = none)")
+	)
+	flag.Parse()
+
+	s := server.New(server.Config{
+		QueueBound:     *queue,
+		HostProcs:      *hostprocs,
+		CacheEntries:   *cache,
+		DefaultTimeout: *timeout,
+		MaxWorkCycles:  *maxcycles,
+	})
+	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	shutdownDone := make(chan struct{})
+	go func() {
+		sig := <-sigs
+		fmt.Printf("stserve: %v: draining (no new admissions, finishing accepted jobs)\n", sig)
+		s.Drain()
+		if b, err := s.Metrics().MarshalJSON(); err == nil {
+			fmt.Printf("stserve: final metrics:\n%s\n", b)
+		}
+		st := s.Stats()
+		fmt.Printf("stserve: drained: accepted=%d completed=%d failed=%d canceled=%d timeout=%d cache_hits=%d cache_misses=%d rejected=%d\n",
+			st.Accepted, st.Completed, st.Failed, st.Canceled, st.Timeout,
+			st.CacheHits, st.CacheMisses, st.RejectedQueueFull+st.RejectedDraining)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(ctx)
+		close(shutdownDone)
+	}()
+
+	fmt.Printf("stserve: listening on %s (executors=%d queue=%d cache=%d)\n",
+		*addr, hostpar.Procs(*hostprocs), *queue, *cache)
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "stserve:", err)
+		os.Exit(1)
+	}
+	<-shutdownDone
+}

@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -145,6 +146,17 @@ type Config struct {
 	Seed uint64
 	// Quantum is the scheduler slice in cycles.
 	Quantum int64
+	// MaxWorkCycles, when positive, bounds the run's total work (summed
+	// worker cycle counters); exceeding it aborts with an error matching
+	// ErrCycleBudget. It is the serving layer's per-job limit and the
+	// strun/stbench -maxcycles flag. The check is deterministic: the same
+	// tuple aborts at the same point on every engine.
+	MaxWorkCycles int64
+	// Ctx, when non-nil, cancels the run cooperatively: the scheduler polls
+	// it at every pick (and the sequential baseline between slices) and
+	// aborts with the context's error once done. Cancellation affects only
+	// whether a run finishes, never the bytes a finished run produces.
+	Ctx context.Context
 	// StealYoungest switches the ST steal policy from Lazy Task Creation's
 	// steal-oldest to the steal-youngest ablation.
 	StealYoungest bool
@@ -166,6 +178,30 @@ type Config struct {
 	RegWindows bool
 	OmitFP     bool
 	LockedLib  bool
+}
+
+// ErrCycleBudget is the sentinel matched by errors.Is against
+// Config.MaxWorkCycles aborts; the concrete error is a *CycleBudgetError
+// carrying the budget and the work consumed at the abort.
+var ErrCycleBudget = sched.ErrCycleBudget
+
+// CycleBudgetError is the typed budget-abort error (see sched).
+type CycleBudgetError = sched.CycleBudgetError
+
+// ctxStop adapts a context to the scheduler's cooperative stop hook; a nil
+// context needs no hook at all.
+func ctxStop(ctx context.Context) func() error {
+	if ctx == nil {
+		return nil
+	}
+	return func() error {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+			return nil
+		}
+	}
 }
 
 // Result reports a run's outcome in virtual time.
@@ -236,7 +272,31 @@ func RunProgram(prog *isa.Program, w *apps.Workload, cfg Config) (*Result, error
 	res := &Result{}
 	switch cfg.Mode {
 	case Sequential:
-		rv, err := m.RunSingle(w.Entry, args...)
+		var rv int64
+		var err error
+		if cfg.MaxWorkCycles > 0 || cfg.Ctx != nil {
+			// Slice the run so the budget and the context are checked
+			// periodically; slicing leaves the simulation byte-identical.
+			slice := cfg.Quantum
+			if slice <= 0 {
+				slice = 10_000
+			}
+			stop := ctxStop(cfg.Ctx)
+			check := func(used int64) error {
+				if cfg.MaxWorkCycles > 0 && used > cfg.MaxWorkCycles {
+					return &CycleBudgetError{Budget: cfg.MaxWorkCycles, Used: used}
+				}
+				if stop != nil {
+					if err := stop(); err != nil {
+						return fmt.Errorf("core: run stopped: %w", err)
+					}
+				}
+				return nil
+			}
+			rv, err = m.RunSingleCheck(w.Entry, slice, check, args...)
+		} else {
+			rv, err = m.RunSingle(w.Entry, args...)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -255,14 +315,16 @@ func RunProgram(prog *isa.Program, w *apps.Workload, cfg Config) (*Result, error
 			policy = sched.StealYoungest
 		}
 		sres, err := sched.Run(m, w.Entry, args, sched.Config{
-			Mode:      mode,
-			Policy:    policy,
-			Seed:      cfg.Seed,
-			Quantum:   cfg.Quantum,
-			Events:    cfg.Events,
-			Obs:       cfg.Obs,
-			Engine:    cfg.Engine.schedEngine(),
-			HostProcs: hostProcs(cfg.HostProcs),
+			Mode:          mode,
+			Policy:        policy,
+			Seed:          cfg.Seed,
+			Quantum:       cfg.Quantum,
+			MaxWorkCycles: cfg.MaxWorkCycles,
+			Stop:          ctxStop(cfg.Ctx),
+			Events:        cfg.Events,
+			Obs:           cfg.Obs,
+			Engine:        cfg.Engine.schedEngine(),
+			HostProcs:     hostProcs(cfg.HostProcs),
 		})
 		if err != nil {
 			return nil, err

@@ -29,6 +29,9 @@ type Opts struct {
 	HostProcs int
 	// Engine selects the host execution engine for each individual run.
 	Engine core.Engine
+	// MaxWorkCycles, when positive, bounds each individual run's total work
+	// (see core.Config.MaxWorkCycles); a budget abort fails the figure.
+	MaxWorkCycles int64
 }
 
 // Scale selects experiment sizes.
@@ -180,7 +183,7 @@ func UniprocessorWith(w io.Writer, sc Scale, opts Opts) ([]UniRow, error) {
 		if err != nil {
 			return err
 		}
-		seqRes, err := core.Run(seqW, core.Config{Mode: core.Sequential, Engine: opts.Engine})
+		seqRes, err := core.Run(seqW, core.Config{Mode: core.Sequential, Engine: opts.Engine, MaxWorkCycles: opts.MaxWorkCycles})
 		if err != nil {
 			return fmt.Errorf("%s/seq: %w", name, err)
 		}
@@ -188,7 +191,7 @@ func UniprocessorWith(w io.Writer, sc Scale, opts Opts) ([]UniRow, error) {
 		if err != nil {
 			return err
 		}
-		stRes, err := core.Run(stW, core.Config{Mode: core.StackThreads, Workers: 1, Engine: opts.Engine})
+		stRes, err := core.Run(stW, core.Config{Mode: core.StackThreads, Workers: 1, Engine: opts.Engine, MaxWorkCycles: opts.MaxWorkCycles})
 		if err != nil {
 			return fmt.Errorf("%s/st: %w", name, err)
 		}
@@ -196,7 +199,7 @@ func UniprocessorWith(w io.Writer, sc Scale, opts Opts) ([]UniRow, error) {
 		if err != nil {
 			return err
 		}
-		ckRes, err := core.Run(ckW, core.Config{Mode: core.Cilk, Workers: 1, Engine: opts.Engine})
+		ckRes, err := core.Run(ckW, core.Config{Mode: core.Cilk, Workers: 1, Engine: opts.Engine, MaxWorkCycles: opts.MaxWorkCycles})
 		if err != nil {
 			return fmt.Errorf("%s/cilk: %w", name, err)
 		}
@@ -261,7 +264,7 @@ func ScalingWith(w io.Writer, sc Scale, benches []string, opts Opts) ([]ScaleRow
 		if err != nil {
 			return err
 		}
-		stRes, err := core.Run(stW, core.Config{Mode: core.StackThreads, Workers: n, Seed: 1, Engine: opts.Engine})
+		stRes, err := core.Run(stW, core.Config{Mode: core.StackThreads, Workers: n, Seed: 1, Engine: opts.Engine, MaxWorkCycles: opts.MaxWorkCycles})
 		if err != nil {
 			return fmt.Errorf("%s/st/p=%d: %w", name, n, err)
 		}
@@ -269,7 +272,7 @@ func ScalingWith(w io.Writer, sc Scale, benches []string, opts Opts) ([]ScaleRow
 		if err != nil {
 			return err
 		}
-		ckRes, err := core.Run(ckW, core.Config{Mode: core.Cilk, Workers: n, Seed: 1, Engine: opts.Engine})
+		ckRes, err := core.Run(ckW, core.Config{Mode: core.Cilk, Workers: n, Seed: 1, Engine: opts.Engine, MaxWorkCycles: opts.MaxWorkCycles})
 		if err != nil {
 			return fmt.Errorf("%s/cilk/p=%d: %w", name, n, err)
 		}

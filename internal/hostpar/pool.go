@@ -1,0 +1,43 @@
+package hostpar
+
+import "sync"
+
+// Pool is a fixed-size set of host worker goroutines executing an
+// open-ended task stream. Where Map fans a known index range and returns,
+// a Pool serves long-lived callers — the job-execution server multiplexes
+// admitted jobs across host cores through one.
+type Pool struct {
+	tasks chan func()
+	wg    sync.WaitGroup
+	procs int
+}
+
+// NewPool starts a pool of Procs(procs) workers.
+func NewPool(procs int) *Pool {
+	p := &Pool{tasks: make(chan func()), procs: Procs(procs)}
+	p.wg.Add(p.procs)
+	for i := 0; i < p.procs; i++ {
+		go func() {
+			defer p.wg.Done()
+			for f := range p.tasks {
+				f()
+			}
+		}()
+	}
+	return p
+}
+
+// Procs returns the pool's worker count.
+func (p *Pool) Procs() int { return p.procs }
+
+// Submit hands f to an idle worker, blocking while every worker is busy —
+// that blocking is the pool's backpressure, letting a bounded queue build
+// up behind a single submitting dispatcher. Submit must not be called
+// after Close.
+func (p *Pool) Submit(f func()) { p.tasks <- f }
+
+// Close stops accepting tasks and waits for in-flight ones to finish.
+func (p *Pool) Close() {
+	close(p.tasks)
+	p.wg.Wait()
+}

@@ -16,6 +16,20 @@ import (
 // event (either the halt builtin or the main thread returning to its
 // original bottom).
 func (m *Machine) RunSingle(entryName string, args ...int64) (int64, error) {
+	return m.RunSingleCheck(entryName, 0, nil, args...)
+}
+
+// RunSingleCheck is RunSingle with a cooperative abort hook for budgets and
+// cancellation: when slice is positive and check non-nil, execution is
+// chopped into slice-cycle budgets and check is called with the worker's
+// cycle counter between slices; a non-nil return aborts the run with that
+// error. Slicing does not perturb execution — the interpreter's budget
+// boundary falls between instructions, so the state evolution (and every
+// counter) is identical to an unsliced run.
+func (m *Machine) RunSingleCheck(entryName string, slice int64, check func(usedCycles int64) error, args ...int64) (int64, error) {
+	if slice <= 0 || check == nil {
+		slice, check = math.MaxInt64, nil
+	}
 	entry, ok := m.Prog.EntryOf[entryName]
 	if !ok {
 		return 0, fmt.Errorf("machine: no procedure %q", entryName)
@@ -23,7 +37,13 @@ func (m *Machine) RunSingle(entryName string, args ...int64) (int64, error) {
 	w := m.Workers[0]
 	w.StartCall(entry, args)
 	for {
-		switch ev := w.Run(math.MaxInt64); ev {
+		switch ev := w.Run(slice); ev {
+		case EvBudget:
+			if check != nil {
+				if err := check(w.Cycles); err != nil {
+					return 0, err
+				}
+			}
 		case EvHalt:
 			return w.Regs[isa.RV], nil
 		case EvBottom:

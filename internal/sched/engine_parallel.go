@@ -163,8 +163,8 @@ func (s *scheduler) loopParallel() error {
 			return fmt.Errorf("sched: deadlock: no runnable worker (all waiting)")
 		}
 		w := s.m.Workers[i]
-		if w.Cycles > s.cfg.MaxCycles {
-			return fmt.Errorf("sched: exceeded MaxCycles=%d", s.cfg.MaxCycles)
+		if err := s.checkAbort(w); err != nil {
+			return err
 		}
 
 		if s.status[i] == idle {

@@ -21,6 +21,7 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -28,6 +29,28 @@ import (
 	"repro/internal/machine"
 	"repro/internal/obs"
 )
+
+// ErrCycleBudget is the sentinel matched by errors.Is against work-cycle
+// budget aborts: a run that exceeds Config.MaxWorkCycles fails with a
+// *CycleBudgetError wrapping it.
+var ErrCycleBudget = errors.New("work-cycle budget exceeded")
+
+// CycleBudgetError reports a run that exceeded its virtual work-cycle
+// budget (Config.MaxWorkCycles). It unwraps to ErrCycleBudget.
+type CycleBudgetError struct {
+	// Budget is the configured limit; Used is the total work across all
+	// workers at the abort check. The check runs at pick boundaries, so
+	// Used overshoots Budget by at most one quantum per worker — and by
+	// the same amount on every engine, keeping the error deterministic.
+	Budget, Used int64
+}
+
+func (e *CycleBudgetError) Error() string {
+	return fmt.Sprintf("sched: %v: used %d of %d cycles", ErrCycleBudget, e.Used, e.Budget)
+}
+
+// Unwrap makes errors.Is(err, ErrCycleBudget) hold.
+func (e *CycleBudgetError) Unwrap() error { return ErrCycleBudget }
 
 // Mode selects the scheduling regime.
 type Mode int
@@ -94,6 +117,16 @@ type Config struct {
 	Seed uint64
 	// MaxCycles aborts runaway simulations (default 50 billion).
 	MaxCycles int64
+	// MaxWorkCycles, when positive, bounds the total work (summed worker
+	// cycle counters) the run may consume; exceeding it aborts with a
+	// *CycleBudgetError. Unlike MaxCycles — a backstop on virtual elapsed
+	// time — this is the serving layer's per-job budget, checked at every
+	// pick so both engines abort at the same deterministic point.
+	MaxWorkCycles int64
+	// Stop, when non-nil, is polled at every scheduler pick; a non-nil
+	// return aborts the run with that error wrapped. core threads context
+	// cancellation and deadlines through it.
+	Stop func() error
 	// Engine selects the host execution strategy (default sequential).
 	Engine Engine
 	// HostProcs caps the goroutines the parallel engine speculates on
@@ -228,6 +261,31 @@ func (s *scheduler) protected(fn func() error) (err error) {
 	return fn()
 }
 
+// checkAbort enforces the run limits at a pick boundary: the MaxCycles
+// backstop, the MaxWorkCycles budget, and the cooperative Stop hook. Both
+// engines call it with the picked worker, in the same pick sequence, so
+// limit aborts are deterministic across engines.
+func (s *scheduler) checkAbort(w *machine.Worker) error {
+	if w.Cycles > s.cfg.MaxCycles {
+		return fmt.Errorf("sched: exceeded MaxCycles=%d", s.cfg.MaxCycles)
+	}
+	if b := s.cfg.MaxWorkCycles; b > 0 {
+		var work int64
+		for _, ww := range s.m.Workers {
+			work += ww.Cycles
+		}
+		if work > b {
+			return &CycleBudgetError{Budget: b, Used: work}
+		}
+	}
+	if s.cfg.Stop != nil {
+		if err := s.cfg.Stop(); err != nil {
+			return fmt.Errorf("sched: run stopped: %w", err)
+		}
+	}
+	return nil
+}
+
 func (s *scheduler) loop() error {
 	for {
 		i := s.next()
@@ -235,8 +293,8 @@ func (s *scheduler) loop() error {
 			return fmt.Errorf("sched: deadlock: no runnable worker (all waiting)")
 		}
 		w := s.m.Workers[i]
-		if w.Cycles > s.cfg.MaxCycles {
-			return fmt.Errorf("sched: exceeded MaxCycles=%d", s.cfg.MaxCycles)
+		if err := s.checkAbort(w); err != nil {
+			return err
 		}
 
 		if s.status[i] == idle {

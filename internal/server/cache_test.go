@@ -1,0 +1,61 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	out := func(i int) *JobOutput { return &JobOutput{Profile: fmt.Sprintf("p%d", i)} }
+	c.Put("a", out(1))
+	c.Put("b", out(2))
+	// Touch "a" so "b" is the LRU victim.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("miss on a")
+	}
+	if ev := c.Put("c", out(3)); ev != 1 {
+		t.Fatalf("evicted %d, want 1", ev)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction; LRU order wrong")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted; LRU order wrong")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("c missing")
+	}
+	if n := c.Len(); n != 2 {
+		t.Fatalf("len = %d, want 2", n)
+	}
+}
+
+func TestCacheDuplicatePutRefreshes(t *testing.T) {
+	c := newResultCache(2)
+	c.Put("a", &JobOutput{})
+	c.Put("b", &JobOutput{})
+	if ev := c.Put("a", &JobOutput{}); ev != 0 {
+		t.Fatalf("duplicate put evicted %d", ev)
+	}
+	c.Put("c", &JobOutput{}) // should evict b, not a
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted after refresh")
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived; refresh did not reorder")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := newResultCache(-1)
+	if ev := c.Put("a", &JobOutput{}); ev != 0 {
+		t.Fatalf("disabled cache evicted %d", ev)
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+	if n := c.Len(); n != 0 {
+		t.Fatalf("disabled cache len = %d", n)
+	}
+}

@@ -1,0 +1,185 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// JobView is the wire form of a job's status. Result and the artifacts are
+// deterministic; the *_us timings are host-side observability and are
+// never part of any determinism contract.
+type JobView struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	App      string `json:"app"`
+	Key      string `json:"key"`
+	Priority int    `json:"priority,omitempty"`
+	Cache    string `json:"cache,omitempty"`
+	Error    string `json:"error,omitempty"`
+
+	Result  *coreResultView `json:"result,omitempty"`
+	Metrics json.RawMessage `json:"metrics,omitempty"`
+	Profile string          `json:"profile,omitempty"`
+	Trace   json.RawMessage `json:"trace,omitempty"`
+
+	QueueWaitUs int64 `json:"queue_wait_us,omitempty"`
+	RunUs       int64 `json:"run_us,omitempty"`
+}
+
+// coreResultView mirrors core.Result with stable JSON field names (the
+// per-worker stats are summarized rather than dumped).
+type coreResultView struct {
+	RV         int64 `json:"rv"`
+	Time       int64 `json:"time_cycles"`
+	WorkCycles int64 `json:"work_cycles"`
+	Instrs     int64 `json:"instrs"`
+	Steals     int64 `json:"steals"`
+	Attempts   int64 `json:"steal_attempts"`
+	Rejects    int64 `json:"steal_rejects"`
+	Workers    int   `json:"workers"`
+}
+
+// view renders a job's current status; the server mutex is taken briefly to
+// read a consistent snapshot.
+func (s *Server) view(j *Job) JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := JobView{
+		ID:       j.ID,
+		State:    j.state,
+		App:      j.Req.App,
+		Key:      j.Req.Key(),
+		Priority: j.Req.Priority,
+		Cache:    j.cacheUse,
+		Error:    j.errMsg,
+	}
+	if !j.started.IsZero() {
+		v.QueueWaitUs = j.started.Sub(j.submitted).Microseconds()
+		if !j.finished.IsZero() {
+			v.RunUs = j.finished.Sub(j.started).Microseconds()
+		}
+	}
+	if out := j.out; out != nil {
+		r := out.Result
+		v.Result = &coreResultView{
+			RV: r.RV, Time: r.Time, WorkCycles: r.WorkCycles, Instrs: r.Instrs,
+			Steals: r.Steals, Attempts: r.Attempts, Rejects: r.Rejects, Workers: len(r.Stats),
+		}
+		if j.Req.Metrics {
+			v.Metrics = out.Metrics
+		}
+		if j.Req.Profile {
+			v.Profile = out.Profile
+		}
+		if j.Req.Trace {
+			v.Trace = out.Trace
+		}
+	}
+	return v
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /jobs        submit a JobRequest ("wait":true blocks until done)
+//	GET    /jobs/{id}   job status (?wait=1 blocks until terminal)
+//	DELETE /jobs/{id}   cancel a queued or running job
+//	GET    /metrics     server metrics registry snapshot (JSON)
+//	GET    /healthz     liveness + draining flag
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type errView struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errView{Error: "bad request body: " + err.Error()})
+		return
+	}
+	j, err := s.Submit(req)
+	switch {
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, errView{Error: err.Error()})
+		return
+	case errors.Is(err, ErrQueueFull):
+		// Backpressure: tell closed-loop clients when to come back.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errView{Error: err.Error()})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, errView{Error: err.Error()})
+		return
+	}
+	if req.Wait {
+		select {
+		case <-j.Done():
+		case <-r.Context().Done():
+			// The client went away; the job stays accepted and keeps
+			// running (it is cheap, deterministic, and cacheable).
+			writeJSON(w, http.StatusAccepted, s.view(j))
+			return
+		}
+		writeJSON(w, http.StatusOK, s.view(j))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, s.view(j))
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errView{Error: err.Error()})
+		return
+	}
+	if r.URL.Query().Get("wait") != "" {
+		select {
+		case <-j.Done():
+		case <-r.Context().Done():
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, s.view(j))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errView{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.view(j))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	b, err := s.met.MarshalJSON()
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errView{Error: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(append(b, '\n'))
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "draining": s.Draining()})
+}

@@ -1,0 +1,218 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/figures"
+	"repro/internal/isa"
+	"repro/internal/obs"
+)
+
+// JobRequest is the wire form of one simulation job. The canonical-tuple
+// fields alone determine every byte of the output (runs are pure functions
+// of the tuple — the repository's determinism guarantee); the serving
+// directives decide how and when the job runs, never what it produces.
+type JobRequest struct {
+	// Canonical tuple.
+	App           string `json:"app"`
+	Full          bool   `json:"full,omitempty"`
+	Mode          string `json:"mode,omitempty"` // seq | st | cilk (default st)
+	Workers       int    `json:"workers,omitempty"`
+	CPU           string `json:"cpu,omitempty"` // default sparc
+	Seed          uint64 `json:"seed,omitempty"`
+	Quantum       int64  `json:"quantum,omitempty"`
+	StealYoungest bool   `json:"steal_youngest,omitempty"`
+	MaxWorkCycles int64  `json:"max_work_cycles,omitempty"`
+
+	// Serving directives.
+	Engine    string `json:"engine,omitempty"` // sequential | parallel (identical bytes)
+	HostProcs int    `json:"hostprocs,omitempty"`
+	Priority  int    `json:"priority,omitempty"` // higher dispatches first; FIFO within a class
+	TimeoutMs int64  `json:"timeout_ms,omitempty"`
+	NoCache   bool   `json:"no_cache,omitempty"`
+	Wait      bool   `json:"wait,omitempty"` // POST blocks until the job is terminal
+
+	// Artifact selection: which deterministic artifacts to include in the
+	// response (the Result is always included).
+	Metrics bool `json:"metrics,omitempty"`
+	Profile bool `json:"profile,omitempty"`
+	Trace   bool `json:"trace,omitempty"`
+}
+
+// normalize applies defaults and validates the request.
+func (r *JobRequest) normalize() error {
+	if r.Mode == "" {
+		r.Mode = "st"
+	}
+	switch r.Mode {
+	case "seq", "st", "cilk":
+	default:
+		return fmt.Errorf("unknown mode %q (want seq, st or cilk)", r.Mode)
+	}
+	if r.Workers <= 0 || r.Mode == "seq" {
+		r.Workers = 1
+	}
+	if r.CPU == "" {
+		r.CPU = "sparc"
+	}
+	if isa.CostModelByName(r.CPU) == nil {
+		return fmt.Errorf("unknown cpu %q", r.CPU)
+	}
+	if _, err := core.ParseEngine(r.Engine); err != nil {
+		return err
+	}
+	if _, err := r.workload(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Key is the canonical cache key: exactly the fields that determine the
+// run's bytes, in a fixed order. The engine is deliberately absent — both
+// engines produce byte-identical output for the same tuple, so a result
+// computed by either serves requests for both.
+func (r *JobRequest) Key() string {
+	return fmt.Sprintf("app=%s|full=%t|mode=%s|workers=%d|cpu=%s|seed=%d|quantum=%d|ysteal=%t|budget=%d",
+		r.App, r.Full, r.Mode, r.Workers, r.CPU, r.Seed, r.Quantum, r.StealYoungest, r.MaxWorkCycles)
+}
+
+// workload builds the benchmark the request names.
+func (r *JobRequest) workload() (*apps.Workload, error) {
+	v := apps.ST
+	if r.Mode == "seq" {
+		v = apps.Seq
+	}
+	if r.App == "pingpong" {
+		// The suspension kernel; the full scale is deliberately long-running
+		// (it is the serving tests' cancellation target).
+		rounds := int64(100)
+		if r.Full {
+			rounds = 1_000_000
+		}
+		return apps.PingPong(rounds, v), nil
+	}
+	sc := figures.Quick
+	if r.Full {
+		sc = figures.Full
+	}
+	return figures.Workload(r.App, sc, v)
+}
+
+// JobOutput is the deterministic product of one execution: the run result
+// plus the observability artifacts. Every field is byte-identical for a
+// given canonical tuple, regardless of engine, host parallelism, or whether
+// it was computed fresh or replayed from the cache.
+type JobOutput struct {
+	Result  *core.Result
+	Metrics json.RawMessage
+	Profile string
+	Trace   json.RawMessage
+}
+
+// Execute runs one job to completion on the calling goroutine. It is a pure
+// function of the request's canonical tuple: ctx and the engine choice
+// decide whether it finishes, never the bytes it produces. Every run
+// carries an obs collector so the cached artifacts are complete.
+func Execute(ctx context.Context, req JobRequest) (*JobOutput, error) {
+	w, err := req.workload()
+	if err != nil {
+		return nil, err
+	}
+	eng, err := core.ParseEngine(req.Engine)
+	if err != nil {
+		return nil, err
+	}
+	var mode core.Mode
+	switch req.Mode {
+	case "seq":
+		mode = core.Sequential
+	case "cilk":
+		mode = core.Cilk
+	default:
+		mode = core.StackThreads
+	}
+	col := obs.New()
+	res, err := core.Run(w, core.Config{
+		Mode:          mode,
+		Workers:       req.Workers,
+		CPU:           isa.CostModelByName(req.CPU),
+		Seed:          req.Seed,
+		Quantum:       req.Quantum,
+		StealYoungest: req.StealYoungest,
+		Engine:        eng,
+		HostProcs:     req.HostProcs,
+		MaxWorkCycles: req.MaxWorkCycles,
+		Ctx:           ctx,
+		Obs:           col,
+	})
+	if err != nil {
+		return nil, err
+	}
+	mjson, err := col.Metrics.MarshalJSON()
+	if err != nil {
+		return nil, fmt.Errorf("server: metrics snapshot: %w", err)
+	}
+	var prof, tr bytes.Buffer
+	col.WriteReport(&prof)
+	if err := col.WriteChromeTrace(&tr); err != nil {
+		return nil, fmt.Errorf("server: trace export: %w", err)
+	}
+	return &JobOutput{
+		Result:  res,
+		Metrics: mjson,
+		Profile: prof.String(),
+		Trace:   tr.Bytes(),
+	}, nil
+}
+
+// Job states.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+	StateTimeout  = "timeout"
+)
+
+// Job is one accepted request's lifecycle record.
+type Job struct {
+	ID  string
+	Req JobRequest
+
+	seq uint64 // admission order; the FIFO tiebreak within a priority class
+
+	// Guarded by the server mutex.
+	state    string
+	errMsg   string
+	cacheUse string // "hit", "miss" or "bypass" once decided
+	out      *JobOutput
+
+	// Host-side timestamps (observability only — never part of any
+	// deterministic artifact).
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	cancel context.CancelFunc
+	ctx    context.Context
+	done   chan struct{} // closed when the job reaches a terminal state
+}
+
+// terminal reports whether a state is final.
+func terminal(state string) bool {
+	switch state {
+	case StateDone, StateFailed, StateCanceled, StateTimeout:
+		return true
+	}
+	return false
+}
+
+// Done exposes the completion channel (closed at the terminal transition).
+func (j *Job) Done() <-chan struct{} { return j.done }

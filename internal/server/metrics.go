@@ -1,0 +1,57 @@
+package server
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// serverMetrics wraps an obs.Registry for concurrent serving use. The obs
+// package keeps registries lock-free because a simulation commits
+// observations single-threadedly; the serving layer is genuinely
+// concurrent, so the lock lives here rather than slowing the simulator's
+// hot path. Snapshots come out through the registry's own deterministic
+// JSON marshalling.
+type serverMetrics struct {
+	mu  sync.Mutex
+	reg *obs.Registry
+}
+
+func newServerMetrics() *serverMetrics {
+	return &serverMetrics{reg: obs.NewRegistry()}
+}
+
+// Add increments the named counter.
+func (m *serverMetrics) Add(name string, n int64) {
+	m.mu.Lock()
+	m.reg.Counter(name).Add(n)
+	m.mu.Unlock()
+}
+
+// Set stores v in the named gauge.
+func (m *serverMetrics) Set(name string, v int64) {
+	m.mu.Lock()
+	m.reg.Gauge(name).Set(v)
+	m.mu.Unlock()
+}
+
+// Observe records v in the named histogram.
+func (m *serverMetrics) Observe(name string, v int64) {
+	m.mu.Lock()
+	m.reg.Histogram(name).Observe(v)
+	m.mu.Unlock()
+}
+
+// Counter reads the named counter's current value.
+func (m *serverMetrics) Counter(name string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.reg.Counter(name).Value()
+}
+
+// MarshalJSON renders a locked snapshot of the registry.
+func (m *serverMetrics) MarshalJSON() ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.reg.MarshalJSON()
+}

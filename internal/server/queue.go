@@ -1,0 +1,93 @@
+package server
+
+import (
+	"container/heap"
+	"sync"
+)
+
+// admitQueue is the bounded admission queue: accepted jobs wait here
+// between admission and dispatch, ordered by (priority descending, arrival
+// ascending) — strict FIFO within a priority class. Push fails fast when
+// the bound is reached (the HTTP layer turns that into 429 + Retry-After);
+// Pop blocks until a job arrives or the queue closes. After Close, Pop
+// keeps draining the backlog before reporting emptiness: an accepted job is
+// never dropped, which is the drain guarantee SIGTERM relies on.
+type admitQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	heap   jobHeap
+	bound  int
+	seq    uint64
+	closed bool
+}
+
+func newAdmitQueue(bound int) *admitQueue {
+	q := &admitQueue{bound: bound}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push admits j, reporting false when the queue is full or closed.
+func (q *admitQueue) Push(j *Job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || len(q.heap) >= q.bound {
+		return false
+	}
+	j.seq = q.seq
+	q.seq++
+	heap.Push(&q.heap, j)
+	q.cond.Signal()
+	return true
+}
+
+// Pop removes the highest-priority job, blocking while the queue is open
+// and empty. It returns nil only once the queue is closed and drained.
+func (q *admitQueue) Pop() *Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.heap) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.heap) == 0 {
+		return nil
+	}
+	return heap.Pop(&q.heap).(*Job)
+}
+
+// Len returns the number of waiting jobs.
+func (q *admitQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.heap)
+}
+
+// Close stops admission and wakes blocked Pops so they can drain and exit.
+func (q *admitQueue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// jobHeap orders jobs by priority (higher first), then admission sequence
+// (earlier first).
+type jobHeap []*Job
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, j int) bool {
+	if h[i].Req.Priority != h[j].Req.Priority {
+		return h[i].Req.Priority > h[j].Req.Priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h jobHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *jobHeap) Push(x any)   { *h = append(*h, x.(*Job)) }
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return j
+}

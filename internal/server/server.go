@@ -1,0 +1,360 @@
+// Package server is the job-execution service: it accepts StackThreads/
+// Cilk simulation jobs over an HTTP+JSON API, multiplexes them across host
+// cores via internal/hostpar, and serves back core.Result plus the
+// deterministic observability artifacts (metrics snapshot, phase report,
+// Chrome trace).
+//
+// The serving stack exploits the property the execution engines guarantee:
+// a run is a pure function of its canonical tuple (app, scale, mode,
+// workers, cpu, seed, quantum, policy, budget), so results are perfectly
+// cacheable and a cache hit is indistinguishable — byte for byte — from a
+// fresh execution. Around that sit the classic serving shapes:
+//
+//   - admission control: a bounded queue; when it is full, submissions are
+//     rejected immediately (HTTP 429 + Retry-After) rather than queued
+//     without bound. Dispatch is priority-then-FIFO.
+//   - execution: a fixed hostpar.Pool of executors, one job per host slot.
+//   - cancellation and deadlines: every job carries a context; DELETE or a
+//     timeout cancels it cooperatively through core.Config.Ctx, and a
+//     per-job MaxWorkCycles virtual budget bounds runaway tuples.
+//   - graceful drain: Drain stops admission, runs every already-accepted
+//     job to a terminal state, then stops the executors. No accepted
+//     request is ever dropped.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/hostpar"
+)
+
+// Admission errors.
+var (
+	// ErrDraining rejects submissions while the server drains (HTTP 503).
+	ErrDraining = errors.New("server: draining, not admitting new jobs")
+	// ErrQueueFull rejects submissions when the admission queue is at its
+	// bound (HTTP 429).
+	ErrQueueFull = errors.New("server: admission queue full")
+	// ErrNoJob reports an unknown job id (HTTP 404).
+	ErrNoJob = errors.New("server: no such job")
+)
+
+// Config tunes a Server. The zero value picks the defaults noted per field.
+type Config struct {
+	// QueueBound caps the admission queue (default 64).
+	QueueBound int
+	// HostProcs is the executor pool size — how many jobs run concurrently
+	// across host cores (default hostpar.Procs(0), i.e. GOMAXPROCS).
+	HostProcs int
+	// CacheEntries bounds the result cache's LRU (default 256; negative
+	// disables caching).
+	CacheEntries int
+	// DefaultTimeout applies to jobs that set no timeout (0 = none).
+	DefaultTimeout time.Duration
+	// MaxWorkCycles, when positive, is a server-wide ceiling: jobs with no
+	// budget (or a larger one) are clamped to it.
+	MaxWorkCycles int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueBound <= 0 {
+		c.QueueBound = 64
+	}
+	c.HostProcs = hostpar.Procs(c.HostProcs)
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	return c
+}
+
+// Server is the job-execution service. Create with New, serve its
+// Handler(), and call Drain on shutdown.
+type Server struct {
+	cfg   Config
+	queue *admitQueue
+	pool  *hostpar.Pool
+	cache *resultCache
+	met   *serverMetrics
+
+	mu        sync.Mutex
+	drainCond *sync.Cond
+	jobs      map[string]*Job
+	nextID    uint64
+	pending   int // accepted but not yet terminal (queued + running)
+	running   int
+	draining  bool
+
+	dispatchDone chan struct{}
+}
+
+// New creates and starts a server: the executor pool is live and the
+// dispatcher is pulling from the admission queue.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:          cfg,
+		queue:        newAdmitQueue(cfg.QueueBound),
+		pool:         hostpar.NewPool(cfg.HostProcs),
+		cache:        newResultCache(cfg.CacheEntries),
+		met:          newServerMetrics(),
+		jobs:         make(map[string]*Job),
+		dispatchDone: make(chan struct{}),
+	}
+	s.drainCond = sync.NewCond(&s.mu)
+	s.met.Set("host_procs", int64(cfg.HostProcs))
+	go s.dispatch()
+	return s
+}
+
+// dispatch moves jobs from the admission queue into the executor pool.
+// Pool.Submit blocks while every executor is busy, so the queue — not an
+// unbounded goroutine pile — absorbs the backlog.
+func (s *Server) dispatch() {
+	defer close(s.dispatchDone)
+	for {
+		j := s.queue.Pop()
+		if j == nil {
+			return // closed and drained
+		}
+		s.met.Set("queue_depth", int64(s.queue.Len()))
+		s.pool.Submit(func() { s.runJob(j) })
+	}
+}
+
+// Submit validates and admits a job. It returns ErrDraining once Drain has
+// begun and ErrQueueFull when the admission queue is at its bound.
+func (s *Server) Submit(req JobRequest) (*Job, error) {
+	if err := (&req).normalize(); err != nil {
+		return nil, err
+	}
+	if max := s.cfg.MaxWorkCycles; max > 0 && (req.MaxWorkCycles <= 0 || req.MaxWorkCycles > max) {
+		req.MaxWorkCycles = max
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		cancel()
+		s.met.Add("jobs_rejected_draining", 1)
+		return nil, ErrDraining
+	}
+	s.nextID++
+	j := &Job{
+		ID:        fmt.Sprintf("j-%d", s.nextID),
+		Req:       req,
+		state:     StateQueued,
+		submitted: time.Now(),
+		ctx:       ctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+	}
+	if !s.queue.Push(j) {
+		s.mu.Unlock()
+		cancel()
+		s.met.Add("jobs_rejected_queue_full", 1)
+		return nil, ErrQueueFull
+	}
+	s.jobs[j.ID] = j
+	s.pending++
+	s.mu.Unlock()
+	s.met.Add("jobs_accepted", 1)
+	s.met.Set("queue_depth", int64(s.queue.Len()))
+	return j, nil
+}
+
+// Job looks a job up by id.
+func (s *Server) Job(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrNoJob
+	}
+	return j, nil
+}
+
+// Cancel cancels a job: a queued job transitions to canceled immediately
+// (it will be skipped at dispatch); a running job's context is canceled and
+// the engines abort at their next pick. Terminal jobs are left untouched.
+func (s *Server) Cancel(id string) (*Job, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil, ErrNoJob
+	}
+	switch j.state {
+	case StateQueued:
+		s.finishLocked(j, nil, context.Canceled, "")
+	case StateRunning:
+		j.cancel()
+	}
+	s.mu.Unlock()
+	return j, nil
+}
+
+// runJob executes one dispatched job on an executor slot.
+func (s *Server) runJob(j *Job) {
+	s.mu.Lock()
+	if j.state != StateQueued {
+		// Canceled while waiting in the queue; nothing to run.
+		s.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	s.running++
+	s.met.Set("jobs_running", int64(s.running))
+	s.mu.Unlock()
+	s.met.Observe("queue_wait_us", j.started.Sub(j.submitted).Microseconds())
+
+	ctx := j.ctx
+	timeout := time.Duration(j.Req.TimeoutMs) * time.Millisecond
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	key := j.Req.Key()
+	cacheUse := "bypass"
+	if !j.Req.NoCache {
+		if out, ok := s.cache.Get(key); ok {
+			s.met.Add("cache_hits", 1)
+			s.finishJob(j, out, nil, "hit")
+			return
+		}
+		s.met.Add("cache_misses", 1)
+		cacheUse = "miss"
+	} else {
+		s.met.Add("cache_bypass", 1)
+	}
+
+	t0 := time.Now()
+	out, err := s.execute(ctx, j.Req)
+	s.met.Observe("job_run_host_us", time.Since(t0).Microseconds())
+	if err == nil && cacheUse == "miss" {
+		if ev := s.cache.Put(key, out); ev > 0 {
+			s.met.Add("cache_evictions", int64(ev))
+		}
+		s.met.Set("cache_entries", int64(s.cache.Len()))
+	}
+	s.finishJob(j, out, err, cacheUse)
+}
+
+// execute runs Execute with a panic guard: a host-side panic must take down
+// one job, not an executor goroutine.
+func (s *Server) execute(ctx context.Context, req JobRequest) (out *JobOutput, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, fmt.Errorf("server: job panicked: %v", r)
+		}
+	}()
+	return Execute(ctx, req)
+}
+
+// finishJob moves a job to its terminal state and wakes waiters.
+func (s *Server) finishJob(j *Job, out *JobOutput, err error, cacheUse string) {
+	s.mu.Lock()
+	s.running--
+	s.met.Set("jobs_running", int64(s.running))
+	s.finishLocked(j, out, err, cacheUse)
+	s.mu.Unlock()
+}
+
+// finishLocked is the terminal transition; the caller holds s.mu. The
+// terminal state is derived from err: nil → done, context.Canceled →
+// canceled, context.DeadlineExceeded → timeout, anything else → failed.
+func (s *Server) finishLocked(j *Job, out *JobOutput, err error, cacheUse string) {
+	if terminal(j.state) {
+		return
+	}
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.out = out
+		s.met.Add("jobs_completed", 1)
+	case errors.Is(err, context.Canceled):
+		j.state = StateCanceled
+		j.errMsg = err.Error()
+		s.met.Add("jobs_canceled", 1)
+	case errors.Is(err, context.DeadlineExceeded):
+		j.state = StateTimeout
+		j.errMsg = err.Error()
+		s.met.Add("jobs_timeout", 1)
+	default:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+		s.met.Add("jobs_failed", 1)
+	}
+	j.cacheUse = cacheUse
+	j.finished = time.Now()
+	s.pending--
+	close(j.done)
+	s.drainCond.Broadcast()
+}
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain gracefully shuts the serving loop down: stop admitting, run every
+// accepted job (queued or running) to a terminal state, then stop the
+// dispatcher and the executor pool. It blocks until the drain is complete
+// and is idempotent. The HTTP listener should be shut down after Drain so
+// in-flight waiters get their responses.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	first := !s.draining
+	if first {
+		s.draining = true
+		s.met.Set("draining", 1)
+		// Closing the queue stops admission at the queue too; the
+		// dispatcher keeps popping the backlog until empty.
+		s.queue.Close()
+	}
+	for s.pending > 0 {
+		s.drainCond.Wait()
+	}
+	s.mu.Unlock()
+	<-s.dispatchDone
+	if first {
+		s.pool.Close()
+	}
+}
+
+// Metrics exposes the server's metrics registry wrapper (counters, gauges
+// and histograms; snapshot via MarshalJSON).
+func (s *Server) Metrics() *serverMetrics { return s.met }
+
+// Stats summarizes the lifetime counters (used by the drain banner).
+type Stats struct {
+	Accepted, Completed, Failed, Canceled, Timeout int64
+	CacheHits, CacheMisses                         int64
+	RejectedQueueFull, RejectedDraining            int64
+}
+
+// Stats reads the lifetime counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Accepted:          s.met.Counter("jobs_accepted"),
+		Completed:         s.met.Counter("jobs_completed"),
+		Failed:            s.met.Counter("jobs_failed"),
+		Canceled:          s.met.Counter("jobs_canceled"),
+		Timeout:           s.met.Counter("jobs_timeout"),
+		CacheHits:         s.met.Counter("cache_hits"),
+		CacheMisses:       s.met.Counter("cache_misses"),
+		RejectedQueueFull: s.met.Counter("jobs_rejected_queue_full"),
+		RejectedDraining:  s.met.Counter("jobs_rejected_draining"),
+	}
+}
