@@ -4,6 +4,10 @@
 // when the response lands), then reports throughput and latency
 // percentiles per level.
 //
+// Requests go through internal/client, so backpressure (429) and load
+// shedding (503) are retried with exponential backoff and jitter, always
+// honoring the server's Retry-After header as the floor on the wait.
+//
 // Usage:
 //
 //	stload -addr http://127.0.0.1:8135 -app fib -workers 8 -c 1,2,4 -n 100
@@ -16,11 +20,9 @@
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
-	"io"
 	"net/http"
 	"os"
 	"sort"
@@ -29,13 +31,16 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/client"
 )
 
 type jobView struct {
-	ID    string `json:"id"`
-	State string `json:"state"`
-	Cache string `json:"cache"`
-	Error string `json:"error"`
+	ID      string `json:"id"`
+	State   string `json:"state"`
+	Cache   string `json:"cache"`
+	Error   string `json:"error"`
+	Failure string `json:"failure"`
 }
 
 type levelStats struct {
@@ -43,7 +48,7 @@ type levelStats struct {
 	latencies []time.Duration
 	hits      int64
 	errors    int64
-	rejected  int64
+	retried   atomic.Int64 // 429/503/transport retries (client OnRetry hook)
 }
 
 func percentile(sorted []time.Duration, p float64) time.Duration {
@@ -68,6 +73,9 @@ func main() {
 		priority  = flag.Int("priority", 0, "job priority")
 		nocache   = flag.Bool("nocache", false, "bypass the server's result cache")
 		maxcycles = flag.Int64("maxcycles", 0, "per-job work-cycle budget")
+		faultPlan = flag.String("fault", "", "per-job fault plan, name[:seed] (part of the canonical tuple)")
+		audit     = flag.Int("audit", 0, "per-job invariant-audit cadence in scheduler picks (0 = off)")
+		retries   = flag.Int("retries", 6, "attempts per request before giving up (429/503/transport)")
 		timeout   = flag.Duration("timeout", 5*time.Minute, "HTTP client timeout per request")
 	)
 	flag.Parse()
@@ -82,13 +90,20 @@ func main() {
 		}
 		levelList = append(levelList, v)
 	}
-	client := &http.Client{Timeout: *timeout}
 
 	var totalCompleted int64
 	fmt.Printf("%-6s %10s %8s %8s %8s %12s %10s %10s %10s %10s\n",
-		"conc", "completed", "errors", "429s", "hits", "thr req/s", "p50", "p90", "p99", "max")
+		"conc", "completed", "errors", "retries", "hits", "thr req/s", "p50", "p90", "p99", "max")
 	for _, c := range levelList {
 		st := &levelStats{}
+		// One client per level so the retry counter and jitter stream are
+		// the level's own.
+		cl := client.New(client.Config{
+			BaseURL:     *addr,
+			HTTPClient:  &http.Client{Timeout: *timeout},
+			MaxAttempts: *retries,
+			OnRetry:     func(client.RetryInfo) { st.retried.Add(1) },
+		})
 		var seq atomic.Int64
 		start := time.Now()
 		var wg sync.WaitGroup
@@ -127,23 +142,21 @@ func main() {
 					if *maxcycles > 0 {
 						req["max_work_cycles"] = *maxcycles
 					}
-					body, _ := json.Marshal(req)
+					if *faultPlan != "" {
+						req["fault_plan"] = *faultPlan
+					}
+					if *audit > 0 {
+						req["audit"] = *audit
+					}
+					var view jobView
 					t0 := time.Now()
-					view, status, err := post(client, *addr+"/jobs", body)
+					err := cl.PostJSON(context.Background(), "/jobs", req, &view)
 					lat := time.Since(t0)
 					st.mu.Lock()
 					switch {
 					case err != nil:
 						st.errors++
-					case status == http.StatusTooManyRequests:
-						// Closed-loop backpressure: honor Retry-After and
-						// re-offer the same request slot.
-						st.rejected++
-						seq.Add(-1)
-						st.mu.Unlock()
-						time.Sleep(500 * time.Millisecond)
-						continue
-					case status != http.StatusOK || view.State != "done":
+					case view.State != "done":
 						st.errors++
 					default:
 						st.latencies = append(st.latencies, lat)
@@ -163,7 +176,7 @@ func main() {
 		totalCompleted += int64(completed)
 		thr := float64(completed) / elapsed.Seconds()
 		fmt.Printf("c=%-4d %10d %8d %8d %8d %12.1f %10v %10v %10v %10v\n",
-			c, completed, st.errors, st.rejected, st.hits, thr,
+			c, completed, st.errors, st.retried.Load(), st.hits, thr,
 			percentile(st.latencies, 0.50).Round(time.Microsecond),
 			percentile(st.latencies, 0.90).Round(time.Microsecond),
 			percentile(st.latencies, 0.99).Round(time.Microsecond),
@@ -173,21 +186,4 @@ func main() {
 	if totalCompleted == 0 {
 		os.Exit(1)
 	}
-}
-
-func post(client *http.Client, url string, body []byte) (jobView, int, error) {
-	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
-	if err != nil {
-		return jobView{}, 0, err
-	}
-	defer resp.Body.Close()
-	b, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return jobView{}, resp.StatusCode, err
-	}
-	var v jobView
-	if err := json.Unmarshal(b, &v); err != nil {
-		return jobView{}, resp.StatusCode, fmt.Errorf("bad response %q: %w", b, err)
-	}
-	return v, resp.StatusCode, nil
 }

@@ -6,17 +6,23 @@
 //	strun -app fib -mode st -workers 8
 //	strun -app cilksort -mode seq -full
 //	strun -app heat -mode cilk -workers 32 -cpu alpha
+//	strun -app fib -workers 8 -fault steal-storm:3 -audit 64   # chaos + live auditing
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/figures"
+	"repro/internal/invariant"
 	"repro/internal/isa"
 )
 
@@ -33,11 +39,20 @@ func main() {
 		engine    = flag.String("engine", "default", "host engine: sequential or parallel (identical results)")
 		hostprocs = flag.Int("hostprocs", 0, "host cores for the parallel engine (0 = all)")
 		maxcycles = flag.Int64("maxcycles", 0, "abort after this many total work cycles (0 = unlimited)")
+		faultFlag = flag.String("fault", "", "deterministic fault plan, name[:seed] (see -list-faults)")
+		audit     = flag.Int64("audit", 0, "audit the paper's 3.2 invariants every N scheduler picks (0 = off)")
+		listF     = flag.Bool("list-faults", false, "list named fault plans and exit")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, n := range figures.BenchNames {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *listF {
+		for _, n := range fault.PlanNames() {
 			fmt.Println(n)
 		}
 		return
@@ -52,6 +67,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "strun:", err)
 		os.Exit(2)
 	}
+	plan, err := fault.ParsePlan(*faultFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "strun:", err)
+		os.Exit(2)
+	}
+	inj := fault.New(plan)
+	var aud *invariant.Auditor
+	if *audit > 0 {
+		aud = invariant.New(*audit)
+	}
 	variant := apps.ST
 	cfg := core.Config{
 		Workers:         *workers,
@@ -61,6 +86,8 @@ func main() {
 		Engine:          eng,
 		HostProcs:       *hostprocs,
 		MaxWorkCycles:   *maxcycles,
+		Fault:           inj,
+		Audit:           aud,
 		Out:             os.Stdout,
 	}
 	switch *mode {
@@ -89,6 +116,13 @@ func main() {
 	res, err := core.Run(w, cfg)
 	wall := time.Since(t0)
 	if err != nil {
+		var viol *invariant.Violation
+		if errors.As(err, &viol) {
+			// The auditor caught a broken machine state: show the dump.
+			fmt.Fprintln(os.Stderr, "strun:", viol)
+			fmt.Fprintln(os.Stderr, viol.Dump)
+			os.Exit(1)
+		}
 		fmt.Fprintln(os.Stderr, "strun:", err)
 		os.Exit(1)
 	}
@@ -99,6 +133,26 @@ func main() {
 		wall.Seconds(), float64(res.WorkCycles)/1e6/wall.Seconds())
 	fmt.Printf("work          %d cycles over %d instructions\n", res.WorkCycles, res.Instrs)
 	fmt.Printf("steals        %d (attempts %d, rejects %d)\n", res.Steals, res.Attempts, res.Rejects)
+	if inj != nil {
+		counts := inj.Counts()
+		sites := make([]string, 0, len(counts))
+		for site := range counts {
+			sites = append(sites, site)
+		}
+		sort.Strings(sites)
+		parts := make([]string, 0, len(sites))
+		for _, site := range sites {
+			parts = append(parts, fmt.Sprintf("%s=%d", site, counts[site]))
+		}
+		detail := strings.Join(parts, " ")
+		if detail == "" {
+			detail = "none fired"
+		}
+		fmt.Printf("faults        %d injected (plan %s): %s\n", inj.Total(), inj.Plan().String(), detail)
+	}
+	if aud != nil {
+		fmt.Printf("audits        %d passed (every %d picks)\n", aud.Audits(), *audit)
+	}
 	for i, st := range res.Stats {
 		fmt.Printf("worker %-3d    instrs=%d calls=%d suspends=%d restarts=%d exports=%d shrinks=%d extends=%d stack-high=%d\n",
 			i, st.Instrs, st.Calls, st.Suspends, st.Restarts, st.Exports, st.Shrinks, st.Extends, st.StackHighWater)

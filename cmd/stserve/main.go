@@ -5,6 +5,8 @@
 // Usage:
 //
 //	stserve -addr :8135 -hostprocs 4 -queue 64 -cache 256
+//	stserve -watchdog 30s -breaker-threshold 8         # hardened serving
+//	stserve -fault serve-panic:7                       # chaos drill
 //
 // API (see internal/server):
 //
@@ -16,6 +18,9 @@
 //
 // On SIGTERM/SIGINT the server stops admitting (503), finishes every
 // accepted job, flushes a final metrics snapshot to stdout, and exits 0.
+// A second SIGTERM/SIGINT while the drain is in flight forces an
+// immediate exit with a nonzero status — the escape hatch when a drain
+// is stuck behind a wedged job.
 package main
 
 import (
@@ -28,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/hostpar"
 	"repro/internal/server"
 )
@@ -40,31 +46,54 @@ func main() {
 		cache     = flag.Int("cache", 256, "result cache entries (negative disables)")
 		timeout   = flag.Duration("timeout", 0, "default per-job execution deadline (0 = none)")
 		maxcycles = flag.Int64("maxcycles", 0, "server-wide work-cycle ceiling per job (0 = none)")
+		watchdog  = flag.Duration("watchdog", 0, "per-job wall-clock bound; a trip fails the job as \"timeout\" (0 = none)")
+		faultFlag = flag.String("fault", "", "serving fault plan, name[:seed]: injects executor panics/latency for chaos drills")
+		bthresh   = flag.Int("breaker-threshold", 0, "host failures in the window that open the load-shedding breaker (0 = default 8, negative disables)")
+		bwindow   = flag.Duration("breaker-window", 0, "sliding window the breaker counts failures over (0 = default 10s)")
+		bcooldown = flag.Duration("breaker-cooldown", 0, "how long an open breaker sheds before probing (0 = default 2s)")
 	)
 	flag.Parse()
 
+	plan, err := fault.ParsePlan(*faultFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stserve:", err)
+		os.Exit(2)
+	}
 	s := server.New(server.Config{
-		QueueBound:     *queue,
-		HostProcs:      *hostprocs,
-		CacheEntries:   *cache,
-		DefaultTimeout: *timeout,
-		MaxWorkCycles:  *maxcycles,
+		QueueBound:       *queue,
+		HostProcs:        *hostprocs,
+		CacheEntries:     *cache,
+		DefaultTimeout:   *timeout,
+		MaxWorkCycles:    *maxcycles,
+		Watchdog:         *watchdog,
+		Fault:            fault.New(plan),
+		BreakerThreshold: *bthresh,
+		BreakerWindow:    *bwindow,
+		BreakerCooldown:  *bcooldown,
 	})
 	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
 
-	sigs := make(chan os.Signal, 1)
+	// Buffer two signals: the first starts the drain, the second (while
+	// draining) forces an immediate exit.
+	sigs := make(chan os.Signal, 2)
 	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
 	shutdownDone := make(chan struct{})
 	go func() {
 		sig := <-sigs
 		fmt.Printf("stserve: %v: draining (no new admissions, finishing accepted jobs)\n", sig)
+		go func() {
+			sig2 := <-sigs
+			fmt.Fprintf(os.Stderr, "stserve: %v during drain: forcing immediate exit\n", sig2)
+			os.Exit(1)
+		}()
 		s.Drain()
 		if b, err := s.Metrics().MarshalJSON(); err == nil {
 			fmt.Printf("stserve: final metrics:\n%s\n", b)
 		}
 		st := s.Stats()
-		fmt.Printf("stserve: drained: accepted=%d completed=%d failed=%d canceled=%d timeout=%d cache_hits=%d cache_misses=%d rejected=%d\n",
+		fmt.Printf("stserve: drained: accepted=%d completed=%d failed=%d canceled=%d timeout=%d shed=%d executor_restarts=%d watchdog_trips=%d cache_hits=%d cache_misses=%d rejected=%d\n",
 			st.Accepted, st.Completed, st.Failed, st.Canceled, st.Timeout,
+			st.Shed, st.ExecutorRestarts, st.WatchdogTrips,
 			st.CacheHits, st.CacheMisses, st.RejectedQueueFull+st.RejectedDraining)
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()

@@ -1,0 +1,314 @@
+// Package client is the canonical HTTP client for stserve. It wraps
+// net/http with the retry discipline the serving path expects of its
+// callers: exponential backoff with seeded jitter, honoring the server's
+// Retry-After header as a floor on every wait, retrying only what the
+// server has declared retryable (backpressure 429s, load-shedding and
+// draining 503s, and transport failures), and surfacing everything else
+// as a typed *StatusError on the first attempt.
+//
+// The jitter stream is seeded, so a client with a fixed Seed produces an
+// identical wait schedule on every run — the same determinism discipline
+// the simulator applies to steal victims applies here to backoff.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config parameterizes a Client. The zero value of every field is usable:
+// defaults are filled in by New.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8135". Paths
+	// passed to the request methods are joined to it.
+	BaseURL string
+
+	// HTTPClient is the transport; nil means a client with a 5-minute
+	// timeout (jobs submitted with "wait":true block for the whole run).
+	HTTPClient *http.Client
+
+	// MaxAttempts bounds the total number of tries, including the first
+	// (default 5). Values below 1 are treated as 1.
+	MaxAttempts int
+
+	// BaseBackoff is the first retry's nominal wait (default 100ms); each
+	// further retry doubles it, capped at MaxBackoff (default 5s).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+
+	// Seed drives the jitter PRNG (default 1). Equal seeds produce equal
+	// wait schedules.
+	Seed int64
+
+	// OnRetry, when non-nil, observes every retry decision just before
+	// the wait. It must not block.
+	OnRetry func(RetryInfo)
+}
+
+// RetryInfo describes one retry decision.
+type RetryInfo struct {
+	// Attempt is the 1-based index of the attempt that just failed.
+	Attempt int
+	// Wait is how long the client will sleep before the next attempt.
+	Wait time.Duration
+	// Floor is the server-mandated minimum wait (Retry-After), zero if
+	// the server named none.
+	Floor time.Duration
+	// Cause is the error that provoked the retry: a *StatusError for an
+	// HTTP rejection, or the transport error.
+	Cause error
+}
+
+// StatusError is a non-2xx HTTP response, decoded as far as the server's
+// error envelope allows.
+type StatusError struct {
+	// Code is the HTTP status code.
+	Code int
+	// Message is the server's "error" field, if the body carried one.
+	Message string
+	// Failure is the server's failure-taxonomy class ("shed", "fault",
+	// "invariant", "panic", "timeout"), if the body carried one.
+	Failure string
+	// RetryAfter is the parsed Retry-After header, zero if absent.
+	RetryAfter time.Duration
+	// Body is the raw response body (for envelopes the client does not
+	// understand).
+	Body []byte
+}
+
+func (e *StatusError) Error() string {
+	msg := e.Message
+	if msg == "" {
+		msg = strings.TrimSpace(string(e.Body))
+	}
+	if msg == "" {
+		msg = http.StatusText(e.Code)
+	}
+	return fmt.Sprintf("client: server returned %d: %s", e.Code, msg)
+}
+
+// Temporary reports whether the status is a retryable, transient
+// rejection: backpressure (429) or unavailability (503).
+func (e *StatusError) Temporary() bool {
+	return e.Code == http.StatusTooManyRequests || e.Code == http.StatusServiceUnavailable
+}
+
+// RetryError is returned when every attempt failed; it wraps the last
+// failure, so errors.As still reaches the final *StatusError.
+type RetryError struct {
+	// Attempts is how many tries were made.
+	Attempts int
+	// Err is the last attempt's error.
+	Err error
+}
+
+func (e *RetryError) Error() string {
+	return fmt.Sprintf("client: giving up after %d attempts: %v", e.Attempts, e.Err)
+}
+
+func (e *RetryError) Unwrap() error { return e.Err }
+
+// Client is a retrying JSON client for one stserve instance. It is safe
+// for concurrent use.
+type Client struct {
+	cfg  Config
+	http *http.Client
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	// sleep is the wait primitive; tests substitute it to capture the
+	// schedule without wall-clock delay.
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// New builds a Client, filling Config defaults.
+func New(cfg Config) *Client {
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = &http.Client{Timeout: 5 * time.Minute}
+	}
+	if cfg.MaxAttempts < 1 {
+		cfg.MaxAttempts = 5
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 100 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 5 * time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return &Client{
+		cfg:   cfg,
+		http:  cfg.HTTPClient,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		sleep: sleepCtx,
+	}
+}
+
+// PostJSON POSTs in (JSON-encoded) to path and decodes the 2xx response
+// body into out (out may be nil to discard it). Non-2xx responses are a
+// *StatusError; retryable ones (429, 503, transport failures) are retried
+// under the backoff policy and, once attempts are exhausted, wrapped in a
+// *RetryError.
+func (c *Client) PostJSON(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("client: encode request: %w", err)
+	}
+	return c.do(ctx, http.MethodPost, path, body, out)
+}
+
+// GetJSON GETs path and decodes the 2xx response body into out.
+func (c *Client) GetJSON(ctx context.Context, path string, out any) error {
+	return c.do(ctx, http.MethodGet, path, nil, out)
+}
+
+// do runs the retry loop: attempt, classify, wait, repeat.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	var last error
+	var floor time.Duration
+	for attempt := 1; ; attempt++ {
+		err := c.once(ctx, method, path, body, out)
+		if err == nil {
+			return nil
+		}
+		// Context cancellation is the caller's decision, never retried.
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		var se *StatusError
+		if errors.As(err, &se) {
+			if !se.Temporary() {
+				return se
+			}
+			floor = se.RetryAfter
+		} else {
+			floor = 0 // transport error: no server-mandated floor
+		}
+		last = err
+		if attempt >= c.cfg.MaxAttempts {
+			return &RetryError{Attempts: attempt, Err: last}
+		}
+		wait := c.backoff(attempt, floor)
+		if c.cfg.OnRetry != nil {
+			c.cfg.OnRetry(RetryInfo{Attempt: attempt, Wait: wait, Floor: floor, Cause: last})
+		}
+		if err := c.sleep(ctx, wait); err != nil {
+			return err
+		}
+	}
+}
+
+// once makes a single HTTP attempt.
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.cfg.BaseURL+path, rd)
+	if err != nil {
+		return fmt.Errorf("client: build request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("client: read response: %w", err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		se := &StatusError{
+			Code:       resp.StatusCode,
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+			Body:       b,
+		}
+		var env struct {
+			Error   string `json:"error"`
+			Failure string `json:"failure"`
+		}
+		if json.Unmarshal(b, &env) == nil {
+			se.Message = env.Error
+			se.Failure = env.Failure
+		}
+		return se
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(b, out); err != nil {
+		return fmt.Errorf("client: decode response %q: %w", b, err)
+	}
+	return nil
+}
+
+// backoff computes the wait before attempt+1: exponential in the attempt
+// number with equal jitter (half fixed, half uniform random), capped at
+// MaxBackoff — then floored at the server's Retry-After. The floor
+// dominates: a server that says "come back in 2s" is never probed sooner,
+// no matter how small the configured backoff.
+func (c *Client) backoff(attempt int, floor time.Duration) time.Duration {
+	d := c.cfg.BaseBackoff << uint(attempt-1)
+	if d <= 0 || d > c.cfg.MaxBackoff { // <= 0 guards shift overflow
+		d = c.cfg.MaxBackoff
+	}
+	c.mu.Lock()
+	j := time.Duration(c.rng.Int63n(int64(d)/2 + 1))
+	c.mu.Unlock()
+	d = d/2 + j
+	if d < floor {
+		d = floor
+	}
+	return d
+}
+
+// parseRetryAfter reads a Retry-After value in either of its HTTP forms:
+// delay-seconds or an HTTP-date.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if s, err := strconv.Atoi(v); err == nil {
+		if s < 0 {
+			return 0
+		}
+		return time.Duration(s) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// sleepCtx waits d or until ctx is done.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,236 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// testClient builds a client against url whose sleeps are captured into
+// the returned slice instead of spent on the wall clock.
+func testClient(cfg Config, url string) (*Client, *[]time.Duration) {
+	cfg.BaseURL = url
+	c := New(cfg)
+	waits := &[]time.Duration{}
+	c.sleep = func(_ context.Context, d time.Duration) error {
+		*waits = append(*waits, d)
+		return nil
+	}
+	return c, waits
+}
+
+func TestSuccessFirstAttempt(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Write([]byte(`{"id":"job-1","state":"done"}`))
+	}))
+	defer srv.Close()
+
+	c, waits := testClient(Config{}, srv.URL)
+	var out struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := c.PostJSON(context.Background(), "/jobs", map[string]any{"app": "fib"}, &out); err != nil {
+		t.Fatalf("PostJSON: %v", err)
+	}
+	if out.ID != "job-1" || out.State != "done" {
+		t.Fatalf("decoded %+v", out)
+	}
+	if n := hits.Load(); n != 1 {
+		t.Fatalf("server hit %d times, want 1", n)
+	}
+	if len(*waits) != 0 {
+		t.Fatalf("slept %v on a clean request", *waits)
+	}
+}
+
+func TestRetriesBackpressureThenSucceeds(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"queue full"}`))
+			return
+		}
+		w.Write([]byte(`{"state":"done"}`))
+	}))
+	defer srv.Close()
+
+	var retries []RetryInfo
+	c, waits := testClient(Config{
+		BaseBackoff: time.Millisecond,
+		OnRetry:     func(ri RetryInfo) { retries = append(retries, ri) },
+	}, srv.URL)
+	if err := c.PostJSON(context.Background(), "/jobs", map[string]any{}, nil); err != nil {
+		t.Fatalf("PostJSON: %v", err)
+	}
+	if n := hits.Load(); n != 3 {
+		t.Fatalf("server hit %d times, want 3", n)
+	}
+	if len(retries) != 2 {
+		t.Fatalf("OnRetry fired %d times, want 2: %+v", len(retries), retries)
+	}
+	// Retry-After: 1 must floor every wait at a full second even though
+	// the configured backoff is a millisecond.
+	for i, w := range *waits {
+		if w < time.Second {
+			t.Fatalf("wait %d = %v, below the Retry-After floor of 1s", i, w)
+		}
+	}
+	for i, ri := range retries {
+		if ri.Floor != time.Second {
+			t.Fatalf("retry %d floor = %v, want 1s", i, ri.Floor)
+		}
+		var se *StatusError
+		if !errors.As(ri.Cause, &se) || se.Code != http.StatusTooManyRequests {
+			t.Fatalf("retry %d cause = %v, want 429 StatusError", i, ri.Cause)
+		}
+		if se.Message != "queue full" {
+			t.Fatalf("retry %d message = %q", i, se.Message)
+		}
+	}
+}
+
+func TestShed503Retried(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			w.Header().Set("Retry-After", "2")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"load shed","failure":"shed"}`))
+			return
+		}
+		w.Write([]byte(`{"state":"done"}`))
+	}))
+	defer srv.Close()
+
+	var got RetryInfo
+	c, waits := testClient(Config{
+		BaseBackoff: time.Millisecond,
+		OnRetry:     func(ri RetryInfo) { got = ri },
+	}, srv.URL)
+	if err := c.PostJSON(context.Background(), "/jobs", map[string]any{}, nil); err != nil {
+		t.Fatalf("PostJSON: %v", err)
+	}
+	var se *StatusError
+	if !errors.As(got.Cause, &se) || se.Failure != "shed" {
+		t.Fatalf("cause = %v, want StatusError with failure \"shed\"", got.Cause)
+	}
+	if (*waits)[0] < 2*time.Second {
+		t.Fatalf("wait = %v, below the Retry-After floor of 2s", (*waits)[0])
+	}
+}
+
+func TestBadRequestNotRetried(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error":"unknown mode \"bogus\""}`))
+	}))
+	defer srv.Close()
+
+	c, waits := testClient(Config{}, srv.URL)
+	err := c.PostJSON(context.Background(), "/jobs", map[string]any{"mode": "bogus"}, nil)
+	var se *StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *StatusError", err)
+	}
+	if se.Code != http.StatusBadRequest || se.Temporary() {
+		t.Fatalf("got %d temporary=%t, want non-temporary 400", se.Code, se.Temporary())
+	}
+	if n := hits.Load(); n != 1 {
+		t.Fatalf("server hit %d times, want 1 (no retry on 400)", n)
+	}
+	if len(*waits) != 0 {
+		t.Fatalf("slept %v on a permanent error", *waits)
+	}
+}
+
+func TestTransportErrorExhaustsRetries(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	srv.Close() // nobody listening: every attempt is a transport error
+
+	c, waits := testClient(Config{MaxAttempts: 3, BaseBackoff: time.Millisecond}, srv.URL)
+	err := c.GetJSON(context.Background(), "/healthz", nil)
+	var re *RetryError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want *RetryError", err)
+	}
+	if re.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", re.Attempts)
+	}
+	if len(*waits) != 2 {
+		t.Fatalf("slept %d times, want 2", len(*waits))
+	}
+}
+
+func TestBackoffGrowsAndIsSeedDeterministic(t *testing.T) {
+	schedule := func() []time.Duration {
+		c := New(Config{BaseURL: "http://x", Seed: 7, BaseBackoff: 10 * time.Millisecond, MaxBackoff: 80 * time.Millisecond})
+		var ws []time.Duration
+		for a := 1; a <= 6; a++ {
+			ws = append(ws, c.backoff(a, 0))
+		}
+		return ws
+	}
+	a, b := schedule(), schedule()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("wait %d differs across equal seeds: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// Equal jitter keeps each wait within [nominal/2, nominal] and the
+	// nominal doubles until the cap.
+	nominals := []time.Duration{10, 20, 40, 80, 80, 80}
+	for i, w := range a {
+		n := nominals[i] * time.Millisecond
+		if w < n/2 || w > n {
+			t.Fatalf("wait %d = %v outside [%v, %v]", i, w, n/2, n)
+		}
+	}
+}
+
+func TestContextCancelStopsRetries(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	c := New(Config{BaseURL: srv.URL, BaseBackoff: time.Millisecond})
+	c.sleep = func(ctx context.Context, _ time.Duration) error {
+		cancel() // the caller gives up while the client is waiting
+		return ctx.Err()
+	}
+	err := c.GetJSON(ctx, "/healthz", nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	if d := parseRetryAfter("3"); d != 3*time.Second {
+		t.Fatalf("seconds form: %v", d)
+	}
+	if d := parseRetryAfter(""); d != 0 {
+		t.Fatalf("empty: %v", d)
+	}
+	if d := parseRetryAfter("-5"); d != 0 {
+		t.Fatalf("negative: %v", d)
+	}
+	future := time.Now().Add(10 * time.Second).UTC().Format(http.TimeFormat)
+	if d := parseRetryAfter(future); d <= 0 || d > 10*time.Second {
+		t.Fatalf("http-date form: %v", d)
+	}
+	if d := parseRetryAfter("garbage"); d != 0 {
+		t.Fatalf("garbage: %v", d)
+	}
+}

@@ -20,6 +20,8 @@ import (
 	"strconv"
 
 	"repro/internal/apps"
+	"repro/internal/fault"
+	"repro/internal/invariant"
 	"repro/internal/isa"
 	"repro/internal/machine"
 	"repro/internal/mem"
@@ -171,6 +173,17 @@ type Config struct {
 	// profiler and the Chrome-trace event stream. Collection charges no
 	// virtual cycles — results are identical with or without it.
 	Obs *obs.Collector
+	// Fault, when non-nil, injects deterministic faults from its plan (see
+	// internal/fault). Virtual faults are part of the run's input — the
+	// same (tuple, plan, seed) reproduces byte-identically on every
+	// engine; host-transparent and serving faults never change output
+	// bytes. Nil compiles to one pointer check per hook site.
+	Fault *fault.Injector
+	// Audit, when non-nil, runs the live Section 3.2 invariant auditor at
+	// scheduler pick boundaries (and between sequential slices); a
+	// violation aborts the run with a typed *invariant.Violation.
+	// Auditing never changes a run's bytes.
+	Audit *invariant.Auditor
 	// Out receives simulated program output (print builtins).
 	Out io.Writer
 	// RegWindows, OmitFP and LockedLib select the code-generation cost
@@ -274,9 +287,10 @@ func RunProgram(prog *isa.Program, w *apps.Workload, cfg Config) (*Result, error
 	case Sequential:
 		var rv int64
 		var err error
-		if cfg.MaxWorkCycles > 0 || cfg.Ctx != nil {
-			// Slice the run so the budget and the context are checked
-			// periodically; slicing leaves the simulation byte-identical.
+		if cfg.MaxWorkCycles > 0 || cfg.Ctx != nil || cfg.Audit != nil {
+			// Slice the run so the budget, the context and the auditor are
+			// checked periodically; slicing leaves the simulation
+			// byte-identical.
 			slice := cfg.Quantum
 			if slice <= 0 {
 				slice = 10_000
@@ -290,6 +304,9 @@ func RunProgram(prog *isa.Program, w *apps.Workload, cfg Config) (*Result, error
 					if err := stop(); err != nil {
 						return fmt.Errorf("core: run stopped: %w", err)
 					}
+				}
+				if v := cfg.Audit.Tick(m); v != nil {
+					return v
 				}
 				return nil
 			}
@@ -323,6 +340,8 @@ func RunProgram(prog *isa.Program, w *apps.Workload, cfg Config) (*Result, error
 			Stop:          ctxStop(cfg.Ctx),
 			Events:        cfg.Events,
 			Obs:           cfg.Obs,
+			Fault:         cfg.Fault,
+			Audit:         cfg.Audit,
 			Engine:        cfg.Engine.schedEngine(),
 			HostProcs:     hostProcs(cfg.HostProcs),
 		})
@@ -338,6 +357,12 @@ func RunProgram(prog *isa.Program, w *apps.Workload, cfg Config) (*Result, error
 		res.Stats = sres.Stats
 	default:
 		return nil, fmt.Errorf("core: unknown mode %v", cfg.Mode)
+	}
+	if cfg.Audit != nil {
+		// Final full audit over the end state, whatever the cadence.
+		if v := cfg.Audit.Audit(m); v != nil {
+			return nil, v
+		}
 	}
 	for _, st := range res.Stats {
 		res.Instrs += st.Instrs

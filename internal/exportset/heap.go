@@ -14,6 +14,7 @@
 package exportset
 
 import (
+	"fmt"
 	"maps"
 	"slices"
 )
@@ -137,4 +138,38 @@ func (s *Set) Entries() []Entry {
 	out := make([]Entry, 0, len(s.h))
 	out = append(out, s.h...)
 	return out
+}
+
+// CheckShape verifies the set's internal structure: the array satisfies
+// the binary-heap property on FP (so Top really is the topmost frame —
+// the max-E ordering of Section 5.2), every entry spans a non-empty
+// interval below its FP, and the membership index mirrors the heap
+// exactly. It returns nil on a well-formed set. The invariant auditor
+// calls this; the operational code never needs to.
+func (s *Set) CheckShape() error {
+	for i := 1; i < len(s.h); i++ {
+		if p := (i - 1) / 2; s.h[p].FP > s.h[i].FP {
+			return fmt.Errorf("exportset: heap property violated at index %d: parent FP %d > child FP %d",
+				i, s.h[p].FP, s.h[i].FP)
+		}
+	}
+	for i, e := range s.h {
+		if e.Low >= e.FP {
+			return fmt.Errorf("exportset: entry %d spans empty interval [%d,%d)", i, e.Low, e.FP)
+		}
+		if !s.live[e.FP] {
+			return fmt.Errorf("exportset: heap entry FP %d missing from the membership index", e.FP)
+		}
+	}
+	liveCount := 0
+	for fp, ok := range s.live {
+		if ok {
+			liveCount++
+			_ = fp
+		}
+	}
+	if liveCount != len(s.h) {
+		return fmt.Errorf("exportset: membership index has %d live frames, heap has %d", liveCount, len(s.h))
+	}
+	return nil
 }

@@ -1,0 +1,207 @@
+package exportset
+
+import (
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+)
+
+// Adversarial property tests for the operational Set: seeded randomized
+// insert/extract/retire sequences, with the heap shape and the topmost
+// (max-E) ordering re-verified after every single operation against a
+// naive reference model. model_test.go checks the paper's formal
+// transition system; this file checks the data structure the machine
+// actually runs on.
+
+// refModel is the oracle: a plain map of exported frames.
+type refModel map[int64]int64 // FP -> Low
+
+func (r refModel) top() (Entry, bool) {
+	best := Entry{FP: 1 << 62}
+	found := false
+	for fp, low := range r {
+		if fp < best.FP {
+			best = Entry{FP: fp, Low: low}
+			found = true
+		}
+	}
+	return best, found
+}
+
+// checkAgainstModel verifies the set agrees with the oracle in shape,
+// size, membership, and topmost ordering.
+func checkAgainstModel(t *testing.T, s *Set, ref refModel, step int) {
+	t.Helper()
+	if err := s.CheckShape(); err != nil {
+		t.Fatalf("step %d: %v", step, err)
+	}
+	if s.Len() != len(ref) {
+		t.Fatalf("step %d: Len=%d, model has %d", step, s.Len(), len(ref))
+	}
+	const sentinel = int64(1 << 61)
+	want, ok := ref.top()
+	if !ok {
+		if !s.Empty() || s.TopFP(sentinel) != sentinel || s.MinLow(sentinel) != sentinel {
+			t.Fatalf("step %d: empty model but non-empty set behavior", step)
+		}
+		return
+	}
+	if got := s.Top(); got != want {
+		t.Fatalf("step %d: Top=%+v, want %+v (max-E ordering broken)", step, got, want)
+	}
+	if got := s.TopFP(sentinel); got != want.FP {
+		t.Fatalf("step %d: TopFP=%d, want %d", step, got, want.FP)
+	}
+	if got := s.MinLow(sentinel); got != want.Low {
+		t.Fatalf("step %d: MinLow=%d, want %d", step, got, want.Low)
+	}
+	for fp := range ref {
+		if !s.Contains(fp) {
+			t.Fatalf("step %d: Contains(%d)=false, model says live", step, fp)
+		}
+	}
+}
+
+func propSeeds() []int64 {
+	n := 8
+	if v, err := strconv.Atoi(os.Getenv("ST_STRESS_SEEDS")); err == nil && v > 0 {
+		n = v
+	}
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = int64(i) + 1
+	}
+	return seeds
+}
+
+// TestSetAdversarialSequences drives random insert (export), extract
+// (steal/restart removing the top) and retire (shrink popping finished
+// frames) sequences. Frame addresses are drawn adversarially: clustered,
+// strided, and shuffled, with disjoint [Low, FP) intervals like real
+// frames — plus a hostile phase of strictly descending FPs (each new
+// frame tops the old, the worst case for sift-up).
+func TestSetAdversarialSequences(t *testing.T) {
+	for _, seed := range propSeeds() {
+		seed := seed
+		t.Run("seed="+strconv.FormatInt(seed, 10), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			s := &Set{}
+			ref := refModel{}
+			// Pre-generate disjoint candidate frames on a strided layout;
+			// shuffle so push order is unrelated to address order.
+			type frame struct{ fp, low int64 }
+			var pool []frame
+			addr := int64(1 << 20)
+			for i := 0; i < 400; i++ {
+				size := 4 + rng.Int63n(60)
+				pool = append(pool, frame{fp: addr, low: addr - size})
+				addr -= size + rng.Int63n(8)
+			}
+			rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+
+			step := 0
+			for op := 0; op < 2000; op++ {
+				step++
+				switch r := rng.Intn(10); {
+				case r < 5 && len(pool) > 0: // insert
+					f := pool[len(pool)-1]
+					pool = pool[:len(pool)-1]
+					s.Push(Entry{FP: f.fp, Low: f.low})
+					ref[f.fp] = f.low
+				case r < 8 && s.Len() > 0: // extract: steal removes the top
+					got := s.PopTop()
+					want, _ := ref.top()
+					if got != want {
+						t.Fatalf("step %d: PopTop=%+v, want %+v", step, got, want)
+					}
+					if s.Contains(got.FP) {
+						t.Fatalf("step %d: popped frame %d still Contains", step, got.FP)
+					}
+					delete(ref, got.FP)
+					// Retired frames may be re-exported later at the same
+					// address (the stack region is reused); recycle some.
+					if rng.Intn(2) == 0 {
+						pool = append(pool, frame{fp: got.FP, low: got.Low})
+					}
+				case s.Len() > 0: // retire: shrink pops finished top frames
+					n := 1 + rng.Intn(min(3, s.Len()))
+					for k := 0; k < n; k++ {
+						got := s.PopTop()
+						want, _ := ref.top()
+						if got != want {
+							t.Fatalf("step %d: retire PopTop=%+v, want %+v", step, got, want)
+						}
+						delete(ref, got.FP)
+					}
+				}
+				checkAgainstModel(t, s, ref, step)
+			}
+
+			// Hostile phase: strictly descending FPs — every push becomes
+			// the new top and must sift to the root.
+			for s.Len() > 0 {
+				delete(ref, s.PopTop().FP)
+			}
+			base := int64(1 << 19)
+			for i := int64(0); i < 128; i++ {
+				step++
+				fp := base - i*16
+				s.Push(Entry{FP: fp, Low: fp - 8})
+				ref[fp] = fp - 8
+				checkAgainstModel(t, s, ref, step)
+			}
+			// Drain fully in order: PopTop must yield strictly ascending FPs.
+			prev := int64(-1 << 62)
+			for !s.Empty() {
+				step++
+				e := s.PopTop()
+				if e.FP <= prev {
+					t.Fatalf("step %d: PopTop out of order: %d after %d", step, e.FP, prev)
+				}
+				prev = e.FP
+				delete(ref, e.FP)
+				checkAgainstModel(t, s, ref, step)
+			}
+		})
+	}
+}
+
+// TestCheckShapeDetectsCorruption corrupts a well-formed set in the ways
+// a buggy scheduler could and asserts CheckShape catches each.
+func TestCheckShapeDetectsCorruption(t *testing.T) {
+	build := func() *Set {
+		s := &Set{}
+		for _, fp := range []int64{100, 80, 140, 60, 120} {
+			s.Push(Entry{FP: fp, Low: fp - 10})
+		}
+		return s
+	}
+	if err := build().CheckShape(); err != nil {
+		t.Fatalf("fresh set ill-formed: %v", err)
+	}
+
+	s := build()
+	s.h[0], s.h[len(s.h)-1] = s.h[len(s.h)-1], s.h[0] // break heap order
+	if s.CheckShape() == nil {
+		t.Fatal("swapped heap entries not detected")
+	}
+
+	s = build()
+	delete(s.live, s.h[0].FP) // index out of sync
+	if s.CheckShape() == nil {
+		t.Fatal("membership index desync not detected")
+	}
+
+	s = build()
+	s.live[999] = true // phantom live frame
+	if s.CheckShape() == nil {
+		t.Fatal("phantom membership not detected")
+	}
+
+	s = build()
+	s.h[2].Low = s.h[2].FP // empty interval
+	if s.CheckShape() == nil {
+		t.Fatal("empty frame interval not detected")
+	}
+}

@@ -1,0 +1,199 @@
+// Package invariant is the live auditor: it walks machine state at a
+// configurable cadence and asserts the paper's Section 3.2 stack
+// invariants plus conservation properties the runtime relies on but never
+// re-checks — the exported set is a well-formed heap over live, disjoint
+// frame intervals; retired frames are never reachable from a pending
+// context (so they cannot be re-entered); and the observability layer's
+// cycle attribution never exceeds the cycles a worker actually ran.
+//
+// The auditor runs at scheduler pick boundaries, where the machine is
+// quiescent (both engines visit picks in the same order, and the parallel
+// engine's speculative phase is fully drained before a pick is handled),
+// so every walk is read-only and charges no virtual cycles: auditing is
+// invisible to the simulation's bytes. Failures carry a typed *Violation
+// with a machine-state dump.
+package invariant
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/machine"
+)
+
+// Violation is a typed invariant failure: which rule broke, on which
+// worker, and a machine-state dump captured at detection.
+type Violation struct {
+	// Rule identifies the invariant class: "section-3.2" (the paper's
+	// Invariants 1/2 plus the max-E mirror), "exportset-shape",
+	// "exportset-live", "retired-reentry", "context-chain",
+	// "obs-attribution", or "sched-conservation".
+	Rule string
+	// Worker is the worker the violation was found on (-1 = machine-wide).
+	Worker int
+	// Detail describes the specific failure.
+	Detail string
+	// Dump is a multi-line machine-state snapshot.
+	Dump string
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("invariant: %s violated on worker %d: %s", v.Rule, v.Worker, v.Detail)
+}
+
+// Auditor triggers full audits at a pick cadence. The zero value audits
+// every DefaultEvery picks; create with New to choose the cadence.
+type Auditor struct {
+	// Every is the number of scheduler picks between audits (<= 0 uses
+	// DefaultEvery). Cadence 1 audits at every pick.
+	Every int64
+
+	picks  int64
+	audits int64
+}
+
+// DefaultEvery is the audit cadence when Auditor.Every is unset.
+const DefaultEvery = 256
+
+// New returns an auditor that audits every `every` picks.
+func New(every int64) *Auditor { return &Auditor{Every: every} }
+
+// Tick counts one scheduler pick and, at the cadence boundary, runs a
+// full audit. It returns nil between boundaries and on a clean audit.
+func (a *Auditor) Tick(m *machine.Machine) *Violation {
+	if a == nil {
+		return nil
+	}
+	every := a.Every
+	if every <= 0 {
+		every = DefaultEvery
+	}
+	a.picks++
+	if a.picks%every != 0 {
+		return nil
+	}
+	return a.Audit(m)
+}
+
+// Audits reports how many full audits have run.
+func (a *Auditor) Audits() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.audits
+}
+
+// Audit runs one full machine audit immediately.
+func (a *Auditor) Audit(m *machine.Machine) *Violation {
+	if a != nil {
+		a.audits++
+	}
+	return Check(m)
+}
+
+// Check walks every worker and asserts the full invariant catalog. It
+// returns the first violation found, or nil.
+func Check(m *machine.Machine) *Violation {
+	for i, w := range m.Workers {
+		if v := checkWorker(m, i, w); v != nil {
+			return v
+		}
+	}
+	return nil
+}
+
+func checkWorker(m *machine.Machine, id int, w *machine.Worker) *Violation {
+	fail := func(rule, format string, args ...any) *Violation {
+		return &Violation{Rule: rule, Worker: id, Detail: fmt.Sprintf(format, args...), Dump: Dump(m)}
+	}
+
+	// Section 3.2: Invariants 1 and 2, the max-E cell mirror, and
+	// logical-stack link termination — the machine's own checker, forced
+	// on for the audit.
+	if err := w.AuditInvariants("audit"); err != nil {
+		return fail("section-3.2", "%v", err)
+	}
+
+	// The exported set of every segment must be a well-formed heap whose
+	// entries are live, in-segment, disjoint frame intervals.
+	for si, seg := range w.Segs {
+		if err := seg.Exported.CheckShape(); err != nil {
+			return fail("exportset-shape", "segment %d: %v", si, err)
+		}
+		entries := seg.Exported.Entries()
+		sort.Slice(entries, func(a, b int) bool { return entries[a].FP < entries[b].FP })
+		for k, e := range entries {
+			if !seg.Region.Contains(e.FP-1) || !seg.Region.Contains(e.Low) {
+				return fail("exportset-live", "segment %d: exported frame [%d,%d) outside region %v",
+					si, e.Low, e.FP, seg.Region)
+			}
+			if k > 0 && entries[k-1].FP > e.Low {
+				return fail("exportset-live", "segment %d: exported frames [%d,%d) and [%d,%d) overlap",
+					si, entries[k-1].Low, entries[k-1].FP, e.Low, e.FP)
+			}
+		}
+	}
+
+	// No context queued for resumption may reach a retired frame: a
+	// frame's return slot is zeroed when it finishes (the epilogue's
+	// frame-finished marking), so every frame on a pending chain must
+	// still hold a nonzero return slot, and the chain's parent links must
+	// walk from Top to Bottom without escaping memory.
+	memSize := m.Mem.Size()
+	for qi := 0; qi < w.ReadyQ.Len(); qi++ {
+		c := w.ReadyQ.At(qi)
+		if c.Top == 0 || c.Bottom == 0 {
+			return fail("context-chain", "readyq[%d]: null frame pointer (top=%d bottom=%d)", qi, c.Top, c.Bottom)
+		}
+		fp := c.Top
+		for depth := 0; ; depth++ {
+			if depth > 1<<20 {
+				return fail("context-chain", "readyq[%d]: unterminated chain from frame %d", qi, c.Top)
+			}
+			if fp-2 < 0 || fp >= memSize {
+				return fail("context-chain", "readyq[%d]: chain frame %d outside memory", qi, fp)
+			}
+			if ret := m.Mem.Load(fp - 1); ret == 0 {
+				return fail("retired-reentry", "readyq[%d]: pending chain reaches retired frame %d (return slot zeroed)", qi, fp)
+			}
+			if fp == c.Bottom {
+				break
+			}
+			fp = m.Mem.Load(fp - 2)
+			if fp == 0 {
+				return fail("context-chain", "readyq[%d]: chain from %d broke before bottom %d", qi, c.Top, c.Bottom)
+			}
+		}
+	}
+
+	// Conservation of attribution: the observability layer never invents
+	// cycles — what it has attributed so far is bounded by the cycles the
+	// worker actually ran (the residual becomes user time at finish).
+	if w.Obs != nil {
+		if att := w.Obs.AttributedTotal(); att > w.Cycles {
+			return fail("obs-attribution", "attributed %d cycles > worker ran %d", att, w.Cycles)
+		}
+	}
+	return nil
+}
+
+// Dump renders a compact machine-state snapshot for violation reports.
+func Dump(m *machine.Machine) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "machine: mem=%d words, heap used=%d\n", m.Mem.Size(), m.Mem.HeapUsed())
+	for i, w := range m.Workers {
+		fmt.Fprintf(&b, "w%d: pc=%d fp=%d sp=%d cycles=%d poll=%t readyq=%d",
+			i, w.PC, w.FP(), w.SP(), w.Cycles, w.PollSignal, w.ReadyQ.Len())
+		for si, seg := range w.Segs {
+			if seg.Exported.Len() > 0 {
+				fmt.Fprintf(&b, " seg%d.exported=%d(top=%d)", si, seg.Exported.Len(), seg.Exported.Top().FP)
+			}
+		}
+		if w.Obs != nil {
+			fmt.Fprintf(&b, " attributed=%d", w.Obs.AttributedTotal())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

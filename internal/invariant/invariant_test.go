@@ -1,0 +1,117 @@
+package invariant_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/exportset"
+	"repro/internal/invariant"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/obs"
+)
+
+// newMachine compiles fib and returns a machine that has run it to
+// completion on one worker — a real, healthy end state to audit.
+func newMachine(t *testing.T, col *obs.Collector) *machine.Machine {
+	t.Helper()
+	w := apps.Fib(12, apps.ST)
+	prog, err := w.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.New(prog, mem.New(1<<16), isa.SPARC(), 1, machine.Options{Obs: col})
+	if _, err := m.RunSingle(w.Entry, w.Args...); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCleanMachinePasses(t *testing.T) {
+	m := newMachine(t, nil)
+	if v := invariant.Check(m); v != nil {
+		t.Fatalf("clean machine reported violation: %v\n%s", v, v.Dump)
+	}
+}
+
+func TestCorruptedExportedSetCaught(t *testing.T) {
+	m := newMachine(t, nil)
+	w := m.Workers[0]
+	// A frame exported out of thin air desyncs the max-E cell mirror —
+	// exactly what a buggy suspend path would do.
+	w.Exported().Push(exportset.Entry{FP: w.Stack().Lo + 64, Low: w.Stack().Lo + 32})
+	v := invariant.Check(m)
+	if v == nil {
+		t.Fatal("corrupted exported set not caught")
+	}
+	if v.Rule != "section-3.2" {
+		t.Fatalf("rule = %q, want section-3.2 (max-E mirror)", v.Rule)
+	}
+	var verr error = v
+	var typed *invariant.Violation
+	if !errors.As(verr, &typed) || typed.Worker != 0 {
+		t.Fatalf("violation not typed/attributed: %v", verr)
+	}
+	if !strings.Contains(v.Dump, "w0:") {
+		t.Fatalf("dump missing worker state:\n%s", v.Dump)
+	}
+}
+
+func TestRetiredFrameReentryCaught(t *testing.T) {
+	m := newMachine(t, nil)
+	w := m.Workers[0]
+	// Queue a context whose single frame has a zeroed return slot — a
+	// retired frame. Resuming it would re-enter freed stack space.
+	fp := w.Stack().Lo + 128
+	m.Mem.Store(fp-1, 0)
+	m.Mem.Store(fp-2, 0)
+	w.ReadyQ.PushTail(&machine.Context{ResumePC: 0, Top: fp, Bottom: fp})
+	v := invariant.Check(m)
+	if v == nil {
+		t.Fatal("retired-frame re-entry not caught")
+	}
+	if v.Rule != "retired-reentry" {
+		t.Fatalf("rule = %q, want retired-reentry (%s)", v.Rule, v.Detail)
+	}
+}
+
+func TestBrokenContextChainCaught(t *testing.T) {
+	m := newMachine(t, nil)
+	w := m.Workers[0]
+	w.ReadyQ.PushTail(&machine.Context{Top: 0, Bottom: 0})
+	v := invariant.Check(m)
+	if v == nil || v.Rule != "context-chain" {
+		t.Fatalf("null context not caught: %v", v)
+	}
+}
+
+func TestOverAttributionCaught(t *testing.T) {
+	col := obs.New()
+	m := newMachine(t, col)
+	w := m.Workers[0]
+	w.Obs.Charge(obs.PhaseIdle, w.Cycles+1_000_000)
+	v := invariant.Check(m)
+	if v == nil || v.Rule != "obs-attribution" {
+		t.Fatalf("over-attribution not caught: %v", v)
+	}
+}
+
+func TestAuditorCadence(t *testing.T) {
+	m := newMachine(t, nil)
+	a := invariant.New(10)
+	for i := 1; i <= 35; i++ {
+		if v := a.Tick(m); v != nil {
+			t.Fatalf("tick %d: unexpected violation: %v", i, v)
+		}
+	}
+	if a.Audits() != 3 {
+		t.Fatalf("audits = %d after 35 ticks at cadence 10, want 3", a.Audits())
+	}
+	var nilA *invariant.Auditor
+	if nilA.Tick(m) != nil || nilA.Audits() != 0 {
+		t.Fatal("nil auditor did something")
+	}
+}

@@ -1,6 +1,78 @@
 package machine
 
-import "repro/internal/postproc"
+import (
+	"errors"
+
+	"repro/internal/isa"
+	"repro/internal/postproc"
+)
+
+// AtFrameTransition reports whether the worker is stopped at one of the
+// calling standard's frame-transition instructions. The Section 3.2
+// invariants are stated between frame pushes and pops; inside a prologue
+// or epilogue tail the state is momentarily between frames — PC is in the
+// callee while FP still addresses the caller's frame, or SP has crossed
+// the finishing frame before the parent FP is reloaded. The machine's own
+// checkInvariants call sites (suspend, restart, start-thread, shrink) run
+// inside runtime operations and never rest here, but a quantum budget can
+// expire at any instruction, so an auditor sampling at scheduler pick
+// boundaries must skip a worker parked on one of these instructions and
+// catch it at the next boundary instead.
+func (w *Worker) AtFrameTransition() bool {
+	pc := w.PC
+	if pc < 0 || pc >= int64(len(w.M.Prog.Code)) {
+		return false // magic pc: empty logical stack, nothing frame-shaped
+	}
+	in := w.M.Prog.Code[pc]
+	switch in.Op {
+	case isa.Store:
+		// Prologue "store [sp-1], lr" / "store [sp-2], fp": PC is already
+		// in the callee but FP still addresses the caller's frame.
+		return in.Ra == isa.SP &&
+			((in.Imm == -1 && in.Rb == isa.LR) || (in.Imm == -2 && in.Rb == isa.FP))
+	case isa.Mov:
+		// Prologue "mov fp, sp": same window as above.
+		return in.Rd == isa.FP && in.Ra == isa.SP
+	case isa.AddI:
+		// Prologue "addi sp, fp, -FrameSize": FP addresses the new frame
+		// but SP has not allocated it yet (SP == FP).
+		return in.Rd == isa.SP && in.Ra == isa.FP && in.Imm < 0
+	case isa.Load:
+		// Epilogue parent-FP reload: on the free path SP has already
+		// crossed the finished frame (mov sp, fp ran); on the retain path
+		// the frame's return-address slot is already zeroed while FP still
+		// addresses it.
+		return in.Rd == isa.FP && in.Imm == -2 && (in.Ra == isa.SP || in.Ra == isa.FP)
+	}
+	return false
+}
+
+// AuditInvariants runs the full Section 3.2 invariant check against the
+// worker's current state regardless of Options.CheckInvariants, returning
+// the violation as an error instead of faulting the simulation. It is the
+// entry point for the live auditor (internal/invariant): the auditor runs
+// at scheduler pick boundaries, where the machine is quiescent, so
+// temporarily forcing the check flag is safe. Workers parked on a
+// frame-transition instruction are skipped (see AtFrameTransition).
+func (w *Worker) AuditInvariants(where string) (err error) {
+	if w.AtFrameTransition() {
+		return nil
+	}
+	saved := w.M.Opts.CheckInvariants
+	w.M.Opts.CheckInvariants = true
+	defer func() {
+		w.M.Opts.CheckInvariants = saved
+		if r := recover(); r != nil {
+			if re, ok := r.(*runtimeError); ok {
+				err = errors.New(re.Error())
+				return
+			}
+			panic(r)
+		}
+	}()
+	w.checkInvariants(where)
+	return nil
+}
 
 // checkInvariants verifies the two invariants of Section 3.2 against the
 // live machine state when Options.CheckInvariants is set:

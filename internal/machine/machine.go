@@ -506,3 +506,7 @@ func (d *Deque) PopTail() *Context {
 	d.items = d.items[:len(d.items)-1]
 	return c
 }
+
+// At returns the i-th context from the head without removing it (the
+// invariant auditor walks queued contexts read-only).
+func (d *Deque) At(i int) *Context { return d.items[i] }

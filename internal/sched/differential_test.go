@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/invariant"
 	"repro/internal/obs"
 	"repro/internal/sched"
 )
@@ -76,6 +77,10 @@ func runEngine(t *testing.T, mk func() *apps.Workload, mode core.Mode, workers i
 		Events:          &events,
 		Obs:             collector,
 		Out:             &out,
+		// The live auditor rides along on the whole differential matrix:
+		// any §3.2 or conservation violation fails the run. Auditing
+		// changes no bytes, so the engine comparison stays exact.
+		Audit: invariant.New(64),
 	})
 	if err != nil {
 		t.Fatalf("%s mode=%v workers=%d seed=%d engine=%v: %v",

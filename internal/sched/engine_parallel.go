@@ -138,6 +138,14 @@ func (s *scheduler) loopParallel() error {
 	}
 
 	valid := func(i int, r *machine.SpecResult) bool {
+		if s.cfg.Fault.ForceSpecAbort() {
+			// Injected fault, host-transparent by construction: an invalid
+			// speculation just reruns non-speculatively, so forcing aborts
+			// exercises the abort/rerun path without changing any output
+			// byte. The site has its own stream, so consulting it here
+			// (parallel engine only) never shifts the virtual-fault draws.
+			return false
+		}
 		if !r.Matches(s.m.Workers[i]) {
 			return false
 		}
@@ -182,6 +190,12 @@ func (s *scheduler) loopParallel() error {
 			continue
 		}
 
+		if s.injectVirtual(i) {
+			// The stall moved the worker's clock, so any outstanding
+			// speculation for it will fail Matches and rerun — the fault
+			// lands identically on both engines.
+			continue
+		}
 		if outstanding == 0 {
 			launch()
 		}

@@ -25,6 +25,8 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/fault"
+	"repro/internal/invariant"
 	"repro/internal/isa"
 	"repro/internal/machine"
 	"repro/internal/obs"
@@ -138,6 +140,18 @@ type Config struct {
 	// time (idle waits, steal requests, handshakes) and the enriched event
 	// stream. It must be the same collector given to the machine.
 	Obs *obs.Collector
+	// Fault, when non-nil, injects deterministic scheduling faults (steal
+	// drops/delays, spurious suspend/restart pairs, worker stalls, forced
+	// speculation aborts) from its plan. Virtual faults are part of the
+	// run's input: the same (tuple, plan, seed) produces byte-identical
+	// results on both engines. Nil costs one pointer check per hook.
+	Fault *fault.Injector
+	// Audit, when non-nil, runs the live invariant auditor at scheduler
+	// pick boundaries (both engines visit picks in the same order and are
+	// quiescent there). A violation aborts the run with the typed
+	// *invariant.Violation. Auditing charges no cycles: the run's bytes
+	// are identical with or without it.
+	Audit *invariant.Auditor
 }
 
 // Result summarizes one parallel run.
@@ -179,9 +193,18 @@ type scheduler struct {
 	status []wStatus
 	wakeAt []int64     // for idle workers
 	reqs   []*stealReq // pending request per victim
+	// spurious marks workers whose poll signal was raised by the fault
+	// injector rather than a steal request; servicePoll turns the flag
+	// into a suspend/restart pair.
+	spurious []bool
 
 	res Result
 }
+
+// testHookSabotage, when set (white-box tests only), runs at every pick
+// boundary with the live scheduler, before the audit tick. Tests use it to
+// corrupt machine state mid-run and prove the auditor catches it.
+var testHookSabotage func(s *scheduler)
 
 // Run executes entry(args...) across all of m's workers under cfg.
 func Run(m *machine.Machine, entry string, args []int64, cfg Config) (*Result, error) {
@@ -197,12 +220,13 @@ func Run(m *machine.Machine, entry string, args []int64, cfg Config) (*Result, e
 	}
 	n := len(m.Workers)
 	s := &scheduler{
-		m:      m,
-		cfg:    cfg,
-		rng:    cfg.Seed*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03 | 1,
-		status: make([]wStatus, n),
-		wakeAt: make([]int64, n),
-		reqs:   make([]*stealReq, n),
+		m:        m,
+		cfg:      cfg,
+		rng:      cfg.Seed*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03 | 1,
+		status:   make([]wStatus, n),
+		wakeAt:   make([]int64, n),
+		reqs:     make([]*stealReq, n),
+		spurious: make([]bool, n),
 	}
 	for i := 1; i < n; i++ {
 		s.status[i] = idle
@@ -283,7 +307,90 @@ func (s *scheduler) checkAbort(w *machine.Worker) error {
 			return fmt.Errorf("sched: run stopped: %w", err)
 		}
 	}
+	if testHookSabotage != nil {
+		testHookSabotage(s)
+	}
+	if s.cfg.Audit != nil {
+		audits := s.cfg.Audit.Audits()
+		if v := s.cfg.Audit.Tick(s.m); v != nil {
+			return v
+		}
+		if s.cfg.Audit.Audits() != audits {
+			// A machine audit just ran clean; extend it with the
+			// scheduler-level conservation checks at the same cadence.
+			if err := s.auditSched(); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
+}
+
+// auditSched asserts the scheduler's own conservation invariants: every
+// pending steal request names a waiting thief and a running, signaled
+// victim, and every waiting thief has exactly one request in flight — no
+// thread (or thief) is ever lost.
+func (s *scheduler) auditSched() error {
+	pending := make(map[int]int)
+	for v, req := range s.reqs {
+		if req == nil {
+			continue
+		}
+		detail := ""
+		switch {
+		case s.status[v] != running:
+			detail = fmt.Sprintf("steal request pending on non-running victim %d", v)
+		case !s.m.Workers[v].PollSignal:
+			detail = fmt.Sprintf("victim %d has a pending request but no poll signal", v)
+		case s.status[req.thief] != waiting:
+			detail = fmt.Sprintf("request from worker %d which is not waiting", req.thief)
+		}
+		if detail != "" {
+			return &invariant.Violation{Rule: "sched-conservation", Worker: v,
+				Detail: detail, Dump: invariant.Dump(s.m)}
+		}
+		pending[req.thief]++
+	}
+	for i, st := range s.status {
+		if st == waiting && pending[i] != 1 {
+			return &invariant.Violation{Rule: "sched-conservation", Worker: i,
+				Detail: fmt.Sprintf("waiting thief has %d pending requests (lost thread)", pending[i]),
+				Dump:   invariant.Dump(s.m)}
+		}
+	}
+	return nil
+}
+
+// injectVirtual runs the virtual-fault sites for the picked running
+// worker. It reports true when the pick was consumed by a fault (the
+// worker stalled) and the scheduler must re-pick. Both engines call it
+// once per running-worker pick, in the same pick order, so the fault
+// streams — and therefore the faulted schedule — are engine-independent.
+func (s *scheduler) injectVirtual(i int) bool {
+	f := s.cfg.Fault
+	if f == nil {
+		return false
+	}
+	w := s.m.Workers[i]
+	if d := f.Stall(); d > 0 {
+		// A memory-system hiccup: the worker burns d cycles making no
+		// progress. Charged as idle time so attribution stays exact.
+		if w.Obs != nil {
+			w.Obs.Charge(obs.PhaseIdle, d)
+		}
+		w.Cycles += d
+		s.cfg.Obs.Instant(w.Cycles, i, "fault-stall", obs.Arg{K: "cycles", V: d})
+		return true
+	}
+	if s.cfg.Mode == ModeST && !w.PollSignal && f.SpuriousPoll() {
+		// Spuriously raise the poll signal: at its next poll point the
+		// worker finds no request and runs a suspend/restart pair instead
+		// (see servicePoll) — adversarial suspension at a point where
+		// suspension is architecturally safe.
+		s.spurious[i] = true
+		w.PollSignal = true
+	}
+	return false
 }
 
 func (s *scheduler) loop() error {
@@ -305,6 +412,9 @@ func (s *scheduler) loop() error {
 			continue
 		}
 
+		if s.injectVirtual(i) {
+			continue
+		}
 		if done, err := s.handleEvent(i, w.Run(s.cfg.Quantum)); done {
 			return err
 		}
@@ -469,6 +579,18 @@ func (s *scheduler) attemptSteal(i int) {
 	vw := s.m.Workers[v]
 	// Post the request; the victim sees it at its next poll point.
 	w.Cycles += s.m.Cost.StealHandshake
+	if s.cfg.Fault.StealDrop() {
+		// Injected fault: the request write is lost in transit — the thief
+		// has paid for the round trip, but the victim never sees it.
+		s.cfg.Obs.Instant(w.Cycles, i, "fault-steal-drop", obs.Arg{K: "victim", V: int64(v)})
+		retry()
+		return
+	}
+	if d := s.cfg.Fault.StealDelay(); d > 0 {
+		// Injected fault: the request dawdles on the interconnect.
+		w.Cycles += d
+		s.cfg.Obs.Instant(w.Cycles, i, "fault-steal-delay", obs.Arg{K: "cycles", V: d})
+	}
 	s.reqs[v] = &stealReq{thief: i, postedAt: w.Cycles}
 	vw.PollSignal = true
 	s.status[i] = waiting
@@ -483,8 +605,14 @@ func (s *scheduler) servicePoll(v int) {
 	vw.PollSignal = false
 	req := s.reqs[v]
 	if req == nil {
+		if s.spurious[v] {
+			s.spurious[v] = false
+			s.injectSpurious(v)
+		}
 		return
 	}
+	// A real request absorbs any spurious signal raised alongside it.
+	s.spurious[v] = false
 	s.reqs[v] = nil
 	var vt0, va0 int64
 	if vw.Obs != nil {
@@ -560,6 +688,41 @@ func (s *scheduler) servicePoll(v int) {
 	}
 }
 
+// injectSpurious is the fault injector's adversarial suspension: the
+// worker behaves exactly as if servicing a steal request at its poll
+// point — but no thief exists, so the detached thread re-enters its own
+// scheduling: the ready queue when other threads remain below it, or an
+// immediate restart when it was the whole logical stack (a pure
+// suspend/restart round trip). This stresses export, unwind, context
+// capture and restart on schedules the migration protocol alone never
+// produces. Suspension happens only at poll points, where the machine
+// guarantees it is architecturally safe (the steal-youngest path suspends
+// at exactly the same points).
+func (s *scheduler) injectSpurious(v int) {
+	vw := s.m.Workers[v]
+	if vw.FP() == 0 {
+		return // nothing to suspend
+	}
+	var vt0, va0 int64
+	if vw.Obs != nil {
+		vt0, va0 = vw.Cycles, vw.Obs.AttributedTotal()
+	}
+	vw.Cycles += int64(vw.CountThreads()) * 3 // stack scan, as in steal service
+	c := vw.SuspendCurrent(vw.PC, 1)
+	if vw.FP() == 0 {
+		vw.StartThread(c)
+	} else {
+		vw.ReadyQ.PushTail(c)
+	}
+	if vw.Obs != nil {
+		if d := (vw.Cycles - vt0) - (vw.Obs.AttributedTotal() - va0); d > 0 {
+			vw.Obs.Charge(obs.PhaseHandshake, d)
+		}
+	}
+	s.cfg.Obs.Instant(vw.Cycles, v, "fault-spurious-suspend",
+		obs.Arg{K: "readyq", V: int64(vw.ReadyQ.Len())})
+}
+
 // attemptStealCilk performs a thief-driven Cilk steal: scan victims in
 // random order and take the readyq tail or the oldest fork continuation.
 func (s *scheduler) attemptStealCilk(i int) {
@@ -573,6 +736,14 @@ func (s *scheduler) attemptStealCilk(i int) {
 				w.Obs.Charge(obs.PhaseStealReq, d)
 			}
 		}()
+	}
+	if s.cfg.Fault.StealDrop() {
+		// Injected fault: the thief's scan is futile (its probes race with
+		// the victims and lose); pay the failed-scan cost and retry later.
+		w.Cycles += s.m.Cost.StealHandshake / 4
+		s.cfg.Obs.Instant(w.Cycles, i, "fault-steal-drop")
+		s.wakeAt[i] = w.Cycles + s.m.Cost.StealHandshake
+		return
 	}
 	n := len(s.m.Workers)
 	start := int(s.nextRand() % uint64(n))

@@ -1,0 +1,126 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is the load-shedding circuit breaker: it watches host-side job
+// failures (executor panics, watchdog trips) over a sliding window and,
+// when they cross the threshold, sheds new submissions for a cooldown
+// instead of queueing work onto a struggling host. After the cooldown it
+// goes half-open: one probe job is admitted, and its outcome decides
+// between closing the breaker and another full cooldown.
+//
+// Only host pathologies count as failures. Deterministic simulation
+// outcomes — including typed budget, fault, or invariant errors — are
+// correct service, not server sickness, and never open the breaker.
+type breaker struct {
+	window    time.Duration
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // test hook; time.Now in production
+
+	mu       sync.Mutex
+	failures []time.Time // host-failure timestamps within the window
+	openedAt time.Time
+	state    breakerState
+	probing  bool // half-open: one probe in flight
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (b breakerState) String() string {
+	switch b {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+// newBreaker builds a breaker; threshold <= 0 disables it (Allow always
+// admits).
+func newBreaker(window time.Duration, threshold int, cooldown time.Duration) *breaker {
+	return &breaker{window: window, threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// Allow reports whether a new submission may be admitted. When shedding it
+// returns the duration after which the client should retry.
+func (b *breaker) Allow() (bool, time.Duration) {
+	if b == nil || b.threshold <= 0 {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		if wait := b.cooldown - b.now().Sub(b.openedAt); wait > 0 {
+			return false, wait
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true, 0 // the probe
+	case breakerHalfOpen:
+		if b.probing {
+			return false, b.cooldown
+		}
+		b.probing = true
+		return true, 0
+	}
+	return true, 0
+}
+
+// Record feeds one finished job's host outcome back: hostFailure is true
+// for executor panics and watchdog trips. Jobs admitted while closed and
+// probes share the same accounting.
+func (b *breaker) Record(hostFailure bool) {
+	if b == nil || b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	if b.state == breakerHalfOpen {
+		b.probing = false
+		if hostFailure {
+			b.state = breakerOpen
+			b.openedAt = now
+			return
+		}
+		b.state = breakerClosed
+		b.failures = b.failures[:0]
+		return
+	}
+	if !hostFailure {
+		return
+	}
+	// Slide the window, then append.
+	cut := 0
+	for cut < len(b.failures) && now.Sub(b.failures[cut]) > b.window {
+		cut++
+	}
+	b.failures = append(b.failures[cut:], now)
+	if len(b.failures) >= b.threshold {
+		b.state = breakerOpen
+		b.openedAt = now
+		b.failures = b.failures[:0]
+	}
+}
+
+// State reports the breaker's current state name (for /healthz and tests).
+func (b *breaker) State() string {
+	if b == nil || b.threshold <= 0 {
+		return "disabled"
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state.String()
+}

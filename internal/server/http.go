@@ -4,7 +4,19 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
+	"time"
 )
+
+// retryAfterSeconds rounds a backoff up to whole seconds (the Retry-After
+// header's granularity), with a floor of 1.
+func retryAfterSeconds(d time.Duration) int {
+	s := int((d + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
 
 // JobView is the wire form of a job's status. Result and the artifacts are
 // deterministic; the *_us timings are host-side observability and are
@@ -17,6 +29,7 @@ type JobView struct {
 	Priority int    `json:"priority,omitempty"`
 	Cache    string `json:"cache,omitempty"`
 	Error    string `json:"error,omitempty"`
+	Failure  string `json:"failure,omitempty"` // taxonomy: fault | invariant | panic | timeout
 
 	Result  *coreResultView `json:"result,omitempty"`
 	Metrics json.RawMessage `json:"metrics,omitempty"`
@@ -53,6 +66,7 @@ func (s *Server) view(j *Job) JobView {
 		Priority: j.Req.Priority,
 		Cache:    j.cacheUse,
 		Error:    j.errMsg,
+		Failure:  j.failure,
 	}
 	if !j.started.IsZero() {
 		v.QueueWaitUs = j.started.Sub(j.submitted).Microseconds()
@@ -105,7 +119,8 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 type errView struct {
-	Error string `json:"error"`
+	Error   string `json:"error"`
+	Failure string `json:"failure,omitempty"`
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -117,7 +132,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j, err := s.Submit(req)
+	var shed *ShedError
 	switch {
+	case errors.As(err, &shed):
+		// Load shedding: the breaker says the host is sick; tell the
+		// client exactly how long to back off.
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(shed.RetryAfter)))
+		writeJSON(w, http.StatusServiceUnavailable, errView{Error: err.Error(), Failure: FailShed})
+		return
 	case errors.Is(err, ErrDraining):
 		writeJSON(w, http.StatusServiceUnavailable, errView{Error: err.Error()})
 		return

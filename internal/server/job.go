@@ -9,7 +9,9 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/figures"
+	"repro/internal/invariant"
 	"repro/internal/isa"
 	"repro/internal/obs"
 )
@@ -29,6 +31,11 @@ type JobRequest struct {
 	Quantum       int64  `json:"quantum,omitempty"`
 	StealYoungest bool   `json:"steal_youngest,omitempty"`
 	MaxWorkCycles int64  `json:"max_work_cycles,omitempty"`
+	// FaultPlan names a deterministic virtual-fault plan, "name" or
+	// "name:seed" (internal/fault). Virtual faults reshape the schedule —
+	// and therefore the run's bytes — deterministically, so the plan is
+	// part of the canonical tuple.
+	FaultPlan string `json:"fault_plan,omitempty"`
 
 	// Serving directives.
 	Engine    string `json:"engine,omitempty"` // sequential | parallel (identical bytes)
@@ -37,6 +44,10 @@ type JobRequest struct {
 	TimeoutMs int64  `json:"timeout_ms,omitempty"`
 	NoCache   bool   `json:"no_cache,omitempty"`
 	Wait      bool   `json:"wait,omitempty"` // POST blocks until the job is terminal
+	// Audit, when positive, runs the §3.2 invariant auditor every Audit
+	// scheduler picks. Auditing changes no output byte (a violation fails
+	// the job instead), so it is not part of the canonical tuple.
+	Audit int `json:"audit,omitempty"`
 
 	// Artifact selection: which deterministic artifacts to include in the
 	// response (the Result is always included).
@@ -67,6 +78,19 @@ func (r *JobRequest) normalize() error {
 	if _, err := core.ParseEngine(r.Engine); err != nil {
 		return err
 	}
+	plan, err := fault.ParsePlan(r.FaultPlan)
+	if err != nil {
+		return err
+	}
+	// Canonicalize so "none", "" and equivalent spellings share a cache key.
+	if plan == nil {
+		r.FaultPlan = ""
+	} else {
+		r.FaultPlan = plan.String()
+	}
+	if r.Audit < 0 {
+		return fmt.Errorf("negative audit cadence %d", r.Audit)
+	}
 	if _, err := r.workload(); err != nil {
 		return err
 	}
@@ -76,10 +100,12 @@ func (r *JobRequest) normalize() error {
 // Key is the canonical cache key: exactly the fields that determine the
 // run's bytes, in a fixed order. The engine is deliberately absent — both
 // engines produce byte-identical output for the same tuple, so a result
-// computed by either serves requests for both.
+// computed by either serves requests for both. The fault plan is present:
+// virtual faults deterministically reshape the schedule. The audit cadence
+// is absent: auditing never changes a byte.
 func (r *JobRequest) Key() string {
-	return fmt.Sprintf("app=%s|full=%t|mode=%s|workers=%d|cpu=%s|seed=%d|quantum=%d|ysteal=%t|budget=%d",
-		r.App, r.Full, r.Mode, r.Workers, r.CPU, r.Seed, r.Quantum, r.StealYoungest, r.MaxWorkCycles)
+	return fmt.Sprintf("app=%s|full=%t|mode=%s|workers=%d|cpu=%s|seed=%d|quantum=%d|ysteal=%t|budget=%d|fault=%s",
+		r.App, r.Full, r.Mode, r.Workers, r.CPU, r.Seed, r.Quantum, r.StealYoungest, r.MaxWorkCycles, r.FaultPlan)
 }
 
 // workload builds the benchmark the request names.
@@ -118,7 +144,10 @@ type JobOutput struct {
 // Execute runs one job to completion on the calling goroutine. It is a pure
 // function of the request's canonical tuple: ctx and the engine choice
 // decide whether it finishes, never the bytes it produces. Every run
-// carries an obs collector so the cached artifacts are complete.
+// carries an obs collector so the cached artifacts are complete. A
+// FaultPlan is part of the tuple (virtual faults deterministically reshape
+// the schedule); the audit cadence is not (a violation fails the job, a
+// clean audit changes nothing).
 func Execute(ctx context.Context, req JobRequest) (*JobOutput, error) {
 	w, err := req.workload()
 	if err != nil {
@@ -127,6 +156,14 @@ func Execute(ctx context.Context, req JobRequest) (*JobOutput, error) {
 	eng, err := core.ParseEngine(req.Engine)
 	if err != nil {
 		return nil, err
+	}
+	plan, err := fault.ParsePlan(req.FaultPlan)
+	if err != nil {
+		return nil, err
+	}
+	var aud *invariant.Auditor
+	if req.Audit > 0 {
+		aud = invariant.New(int64(req.Audit))
 	}
 	var mode core.Mode
 	switch req.Mode {
@@ -150,6 +187,8 @@ func Execute(ctx context.Context, req JobRequest) (*JobOutput, error) {
 		MaxWorkCycles: req.MaxWorkCycles,
 		Ctx:           ctx,
 		Obs:           col,
+		Fault:         fault.New(plan),
+		Audit:         aud,
 	})
 	if err != nil {
 		return nil, err
@@ -191,6 +230,7 @@ type Job struct {
 	// Guarded by the server mutex.
 	state    string
 	errMsg   string
+	failure  string // taxonomy class once failed (Fail* constants)
 	cacheUse string // "hit", "miss" or "bypass" once decided
 	out      *JobOutput
 

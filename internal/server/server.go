@@ -20,6 +20,11 @@
 //   - graceful drain: Drain stops admission, runs every already-accepted
 //     job to a terminal state, then stops the executors. No accepted
 //     request is ever dropped.
+//   - failure containment: each job runs on a supervised executor slot. A
+//     panic takes down exactly that job (the slot is restarted), a
+//     watchdog bounds each job's wall clock, and a sliding-window breaker
+//     sheds load when the host itself is failing. Every failure carries a
+//     typed taxonomy class: fault, invariant, panic, timeout, or shed.
 package server
 
 import (
@@ -29,7 +34,9 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/hostpar"
+	"repro/internal/invariant"
 )
 
 // Admission errors.
@@ -41,6 +48,29 @@ var (
 	ErrQueueFull = errors.New("server: admission queue full")
 	// ErrNoJob reports an unknown job id (HTTP 404).
 	ErrNoJob = errors.New("server: no such job")
+	// ErrWatchdog fails a job whose wall-clock execution exceeded the
+	// server's watchdog bound (terminal state timeout, failure "timeout").
+	ErrWatchdog = errors.New("server: watchdog: job exceeded its wall-clock bound")
+)
+
+// ShedError rejects a submission while the breaker sheds load (HTTP 503 +
+// Retry-After, failure "shed").
+type ShedError struct {
+	// RetryAfter is how long the client should back off before retrying.
+	RetryAfter time.Duration
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("server: shedding load (breaker open, retry in %s)", e.RetryAfter.Round(time.Millisecond))
+}
+
+// Failure taxonomy classes (JobView.Failure and error responses).
+const (
+	FailFault     = "fault"     // injected fault (typed *fault.Error)
+	FailInvariant = "invariant" // §3.2 or conservation violation (typed *invariant.Violation)
+	FailPanic     = "panic"     // executor panic (host bug; slot was restarted)
+	FailTimeout   = "timeout"   // deadline or watchdog
+	FailShed      = "shed"      // rejected by the load-shedding breaker
 )
 
 // Config tunes a Server. The zero value picks the defaults noted per field.
@@ -58,6 +88,23 @@ type Config struct {
 	// MaxWorkCycles, when positive, is a server-wide ceiling: jobs with no
 	// budget (or a larger one) are clamped to it.
 	MaxWorkCycles int64
+	// Fault, when non-nil, injects serving-side faults (executor panics,
+	// latency spikes) from the injector's plan. Virtual faults inside a
+	// job come from the request's FaultPlan instead — this injector only
+	// perturbs the host path, never a run's bytes.
+	Fault *fault.Injector
+	// Watchdog bounds each job's wall-clock execution; a job that exceeds
+	// it fails typed "timeout" and its executor moves on (0 = off).
+	Watchdog time.Duration
+	// BreakerThreshold opens the load-shedding breaker after this many
+	// host failures (panics, watchdog trips) within BreakerWindow
+	// (default 8; negative disables shedding).
+	BreakerThreshold int
+	// BreakerWindow is the sliding failure window (default 10s).
+	BreakerWindow time.Duration
+	// BreakerCooldown is how long the breaker sheds before admitting a
+	// half-open probe (default 2s).
+	BreakerCooldown time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -68,17 +115,27 @@ func (c Config) withDefaults() Config {
 	if c.CacheEntries == 0 {
 		c.CacheEntries = 256
 	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 8
+	}
+	if c.BreakerWindow <= 0 {
+		c.BreakerWindow = 10 * time.Second
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
 	return c
 }
 
 // Server is the job-execution service. Create with New, serve its
 // Handler(), and call Drain on shutdown.
 type Server struct {
-	cfg   Config
-	queue *admitQueue
-	pool  *hostpar.Pool
-	cache *resultCache
-	met   *serverMetrics
+	cfg     Config
+	queue   *admitQueue
+	exec    *executor
+	cache   *resultCache
+	met     *serverMetrics
+	breaker *breaker
 
 	mu        sync.Mutex
 	drainCond *sync.Cond
@@ -87,31 +144,34 @@ type Server struct {
 	pending   int // accepted but not yet terminal (queued + running)
 	running   int
 	draining  bool
+	attempts  map[string]int // per-key execution count (serving-fault rolls)
 
 	dispatchDone chan struct{}
 }
 
-// New creates and starts a server: the executor pool is live and the
+// New creates and starts a server: the executor slots are live and the
 // dispatcher is pulling from the admission queue.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:          cfg,
 		queue:        newAdmitQueue(cfg.QueueBound),
-		pool:         hostpar.NewPool(cfg.HostProcs),
 		cache:        newResultCache(cfg.CacheEntries),
 		met:          newServerMetrics(),
+		breaker:      newBreaker(cfg.BreakerWindow, cfg.BreakerThreshold, cfg.BreakerCooldown),
 		jobs:         make(map[string]*Job),
+		attempts:     make(map[string]int),
 		dispatchDone: make(chan struct{}),
 	}
 	s.drainCond = sync.NewCond(&s.mu)
+	s.exec = newExecutor(s, cfg.HostProcs)
 	s.met.Set("host_procs", int64(cfg.HostProcs))
 	go s.dispatch()
 	return s
 }
 
-// dispatch moves jobs from the admission queue into the executor pool.
-// Pool.Submit blocks while every executor is busy, so the queue — not an
+// dispatch moves jobs from the admission queue onto executor slots.
+// executor.submit blocks while every slot is busy, so the queue — not an
 // unbounded goroutine pile — absorbs the backlog.
 func (s *Server) dispatch() {
 	defer close(s.dispatchDone)
@@ -121,15 +181,20 @@ func (s *Server) dispatch() {
 			return // closed and drained
 		}
 		s.met.Set("queue_depth", int64(s.queue.Len()))
-		s.pool.Submit(func() { s.runJob(j) })
+		s.exec.submit(j)
 	}
 }
 
 // Submit validates and admits a job. It returns ErrDraining once Drain has
-// begun and ErrQueueFull when the admission queue is at its bound.
+// begun, ErrQueueFull when the admission queue is at its bound, and a
+// *ShedError while the breaker sheds load.
 func (s *Server) Submit(req JobRequest) (*Job, error) {
 	if err := (&req).normalize(); err != nil {
 		return nil, err
+	}
+	if ok, retry := s.breaker.Allow(); !ok {
+		s.met.Add("jobs_shed", 1)
+		return nil, &ShedError{RetryAfter: retry}
 	}
 	if max := s.cfg.MaxWorkCycles; max > 0 && (req.MaxWorkCycles <= 0 || req.MaxWorkCycles > max) {
 		req.MaxWorkCycles = max
@@ -237,27 +302,83 @@ func (s *Server) runJob(j *Job) {
 		s.met.Add("cache_bypass", 1)
 	}
 
-	t0 := time.Now()
-	out, err := s.execute(ctx, j.Req)
-	s.met.Observe("job_run_host_us", time.Since(t0).Microseconds())
-	if err == nil && cacheUse == "miss" {
-		if ev := s.cache.Put(key, out); ev > 0 {
-			s.met.Add("cache_evictions", int64(ev))
-		}
-		s.met.Set("cache_entries", int64(s.cache.Len()))
+	s.mu.Lock()
+	s.attempts[key]++
+	attempt := s.attempts[key]
+	s.mu.Unlock()
+
+	// Execute on a child goroutine so the slot can abandon a wedged run
+	// when the watchdog fires. The channel is buffered: a late result from
+	// an abandoned child is parked there and dropped (the job is already
+	// terminal; finishLocked ignores second transitions).
+	type execResult struct {
+		out *JobOutput
+		err error
+		pan any
 	}
-	s.finishJob(j, out, err, cacheUse)
+	resc := make(chan execResult, 1)
+	t0 := time.Now()
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				resc <- execResult{pan: r}
+			}
+		}()
+		if d := s.cfg.Fault.ExecDelay(key, attempt); d > 0 {
+			// Injected latency spike: the executor sits on the job.
+			s.met.Add("fault_exec_delays", 1)
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+			}
+		}
+		if s.cfg.Fault.ExecPanic(key, attempt) {
+			panic(&fault.Error{Site: "exec-panic"})
+		}
+		out, err := Execute(ctx, j.Req)
+		resc <- execResult{out: out, err: err}
+	}()
+
+	var wdC <-chan time.Time
+	if wd := s.cfg.Watchdog; wd > 0 {
+		t := time.NewTimer(wd)
+		defer t.Stop()
+		wdC = t.C
+	}
+	select {
+	case r := <-resc:
+		s.met.Observe("job_run_host_us", time.Since(t0).Microseconds())
+		if r.pan != nil {
+			// Re-raise on the slot: the supervisor isolates the job and
+			// restarts the slot (see executor.run).
+			panic(r.pan)
+		}
+		if r.err == nil && cacheUse == "miss" {
+			if ev := s.cache.Put(key, r.out); ev > 0 {
+				s.met.Add("cache_evictions", int64(ev))
+			}
+			s.met.Set("cache_entries", int64(s.cache.Len()))
+		}
+		s.finishJob(j, r.out, r.err, cacheUse)
+	case <-wdC:
+		// The job blew its wall-clock bound. Cancel its context so a
+		// cooperative run unwinds, but do not wait for it: the slot is
+		// released now and the child's late result is dropped.
+		s.met.Add("watchdog_trips", 1)
+		j.cancel()
+		s.finishJob(j, nil, ErrWatchdog, cacheUse)
+	}
 }
 
-// execute runs Execute with a panic guard: a host-side panic must take down
-// one job, not an executor goroutine.
-func (s *Server) execute(ctx context.Context, req JobRequest) (out *JobOutput, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			out, err = nil, fmt.Errorf("server: job panicked: %v", r)
-		}
-	}()
-	return Execute(ctx, req)
+// slotPanicked is the executor supervisor's callback: terminate the job
+// whose execution panicked with a typed failure. The slot itself is being
+// restarted by the caller.
+func (s *Server) slotPanicked(j *Job, r any) {
+	s.met.Add("executor_restarts", 1)
+	if j == nil {
+		return
+	}
+	s.finishJob(j, nil, &panicError{v: r}, "")
 }
 
 // finishJob moves a job to its terminal state and wakes waiters.
@@ -270,29 +391,60 @@ func (s *Server) finishJob(j *Job, out *JobOutput, err error, cacheUse string) {
 }
 
 // finishLocked is the terminal transition; the caller holds s.mu. The
-// terminal state is derived from err: nil → done, context.Canceled →
-// canceled, context.DeadlineExceeded → timeout, anything else → failed.
+// terminal state and the failure class are derived from err: nil → done;
+// context.Canceled → canceled; deadline or watchdog → timeout ("timeout");
+// a typed *fault.Error → failed ("fault"); a typed *invariant.Violation →
+// failed ("invariant"); an executor panic → failed ("panic" — or "fault"
+// when the panic value was an injected *fault.Error); anything else →
+// failed. Host failures (panic, watchdog) also feed the breaker.
 func (s *Server) finishLocked(j *Job, out *JobOutput, err error, cacheUse string) {
 	if terminal(j.state) {
 		return
 	}
+	hostFailure := false
+	var fe *fault.Error
+	var iv *invariant.Violation
+	var pe *panicError
 	switch {
 	case err == nil:
 		j.state = StateDone
 		j.out = out
 		s.met.Add("jobs_completed", 1)
+	case errors.Is(err, ErrWatchdog):
+		j.state = StateTimeout
+		j.failure = FailTimeout
+		j.errMsg = err.Error()
+		hostFailure = true
+		s.met.Add("jobs_timeout", 1)
 	case errors.Is(err, context.Canceled):
 		j.state = StateCanceled
 		j.errMsg = err.Error()
 		s.met.Add("jobs_canceled", 1)
 	case errors.Is(err, context.DeadlineExceeded):
 		j.state = StateTimeout
+		j.failure = FailTimeout
 		j.errMsg = err.Error()
 		s.met.Add("jobs_timeout", 1)
 	default:
 		j.state = StateFailed
 		j.errMsg = err.Error()
+		switch {
+		case errors.As(err, &fe):
+			j.failure = FailFault
+		case errors.As(err, &iv):
+			j.failure = FailInvariant
+		case errors.As(err, &pe):
+			j.failure = FailPanic
+			hostFailure = true
+		}
 		s.met.Add("jobs_failed", 1)
+	}
+	if err != nil {
+		// Only host pathologies open the breaker; deterministic failures
+		// (fault, invariant, budget) are correct service.
+		s.breaker.Record(hostFailure)
+	} else {
+		s.breaker.Record(false)
 	}
 	j.cacheUse = cacheUse
 	j.finished = time.Now()
@@ -329,7 +481,7 @@ func (s *Server) Drain() {
 	s.mu.Unlock()
 	<-s.dispatchDone
 	if first {
-		s.pool.Close()
+		s.exec.close()
 	}
 }
 
@@ -341,7 +493,8 @@ func (s *Server) Metrics() *serverMetrics { return s.met }
 type Stats struct {
 	Accepted, Completed, Failed, Canceled, Timeout int64
 	CacheHits, CacheMisses                         int64
-	RejectedQueueFull, RejectedDraining            int64
+	RejectedQueueFull, RejectedDraining, Shed      int64
+	ExecutorRestarts, WatchdogTrips                int64
 }
 
 // Stats reads the lifetime counters.
@@ -356,5 +509,8 @@ func (s *Server) Stats() Stats {
 		CacheMisses:       s.met.Counter("cache_misses"),
 		RejectedQueueFull: s.met.Counter("jobs_rejected_queue_full"),
 		RejectedDraining:  s.met.Counter("jobs_rejected_draining"),
+		Shed:              s.met.Counter("jobs_shed"),
+		ExecutorRestarts:  s.met.Counter("executor_restarts"),
+		WatchdogTrips:     s.met.Counter("watchdog_trips"),
 	}
 }

@@ -1,7 +1,6 @@
 package server
 
 import (
-	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
@@ -9,6 +8,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/fault"
 )
 
 // jobState reads a job's state under the server mutex.
@@ -22,6 +23,13 @@ func jobErr(s *Server, j *Job) string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return j.errMsg
+}
+
+// jobFailure reads a job's failure-taxonomy class under the server mutex.
+func jobFailure(s *Server, j *Job) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return j.failure
 }
 
 // waitFor polls cond until it holds or the deadline passes.
@@ -196,7 +204,9 @@ func TestCancelUnknownJob(t *testing.T) {
 func TestJobDeadline(t *testing.T) {
 	s := New(Config{QueueBound: 4, HostProcs: 1, CacheEntries: -1})
 	defer s.Drain()
-	j, err := s.Submit(JobRequest{App: "pingpong", Full: true, TimeoutMs: 100})
+	// Paper-scale pingpong overflows its logical stack after ~125ms on an
+	// unloaded host; the deadline must win that race with a wide margin.
+	j, err := s.Submit(JobRequest{App: "pingpong", Full: true, TimeoutMs: 25})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -442,21 +452,37 @@ func TestHTTPBackpressureStatus(t *testing.T) {
 	}
 }
 
-// TestExecutePanicIsJobFailure: a host-side panic fails the one job and
-// leaves the executor pool alive.
+// TestExecutePanicIsJobFailure: an executor panic fails the one job with a
+// typed failure and the supervisor restarts the slot. With a single slot,
+// the follow-up job can only reach a terminal state if the restart
+// actually happened.
 func TestExecutePanicIsJobFailure(t *testing.T) {
-	s := New(Config{QueueBound: 4, HostProcs: 1, CacheEntries: -1})
+	inj := fault.New(&fault.Plan{Name: "test", Seed: 1, ExecPanicPct: 100})
+	s := New(Config{QueueBound: 4, HostProcs: 1, CacheEntries: -1, Fault: inj,
+		BreakerThreshold: -1})
 	defer s.Drain()
-	if _, err := s.execute(context.Background(), JobRequest{}); err == nil {
-		t.Skip("empty request did not panic Execute")
-	}
-	// The pool must still run jobs after the recovered panic.
 	j, err := s.Submit(JobRequest{App: "fib", Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	awaitDone(t, j)
-	if st := jobState(s, j); st != StateDone {
-		t.Fatalf("state = %s, want done", st)
+	if st := jobState(s, j); st != StateFailed {
+		t.Fatalf("state = %s, want failed", st)
+	}
+	if f := jobFailure(s, j); f != FailFault {
+		t.Fatalf("failure = %q, want %q (injected panic)", f, FailFault)
+	}
+	// The slot must have been replaced: a second job still executes (and
+	// fails the same typed way, since the plan panics every execution).
+	j2, err := s.Submit(JobRequest{App: "fib", Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	awaitDone(t, j2)
+	if f := jobFailure(s, j2); f != FailFault {
+		t.Fatalf("second job failure = %q, want %q", f, FailFault)
+	}
+	if n := s.Stats().ExecutorRestarts; n < 2 {
+		t.Fatalf("executor_restarts = %d, want >= 2", n)
 	}
 }
