@@ -44,12 +44,13 @@ var gatedUnits = map[string]bool{
 
 // hostUnits vary with the machine running the benchmark.
 var hostUnits = map[string]bool{
-	"ns/op":        true,
-	"B/op":         true,
-	"allocs/op":    true,
-	"vcycles/s":    true,
-	"host-speedup": true,
-	"host-cores":   true,
+	"ns/op":          true,
+	"B/op":           true,
+	"allocs/op":      true,
+	"vcycles/s":      true,
+	"host-speedup":   true,
+	"host-cores":     true,
+	"host-ns/vcycle": true,
 }
 
 // Doc is the JSON document: benchmark name → metric unit → value.
@@ -122,7 +123,9 @@ func write(doc *Doc, path string) error {
 }
 
 // check compares pr against base and returns the regression report lines.
-func check(base, pr *Doc, tolerance float64, gateHost bool) (bad, skipped []string) {
+// A non-nil only set replaces the default gating policy entirely: exactly
+// the listed units are gated, whether host-dependent or not.
+func check(base, pr *Doc, tolerance float64, gateHost bool, only map[string]bool) (bad, skipped []string) {
 	names := make([]string, 0, len(base.Benchmarks))
 	for name := range base.Benchmarks {
 		names = append(names, name)
@@ -136,7 +139,11 @@ func check(base, pr *Doc, tolerance float64, gateHost bool) (bad, skipped []stri
 		sort.Strings(units)
 		for _, unit := range units {
 			want := base.Benchmarks[name][unit]
-			if !gatedUnits[unit] && !(gateHost && hostUnits[unit]) {
+			if only != nil {
+				if !only[unit] {
+					continue
+				}
+			} else if !gatedUnits[unit] && !(gateHost && hostUnits[unit]) {
 				continue
 			}
 			got, ok := pr.Benchmarks[name][unit]
@@ -174,8 +181,19 @@ func main() {
 		pr        = flag.String("pr", "BENCH_PR.json", "PR JSON for -check")
 		tolerance = flag.Float64("tolerance", 0.10, "allowed relative regression for gated metrics")
 		gateHost  = flag.Bool("gate-host", false, "also gate host-dependent metrics (ns/op, vcycles/s, ...)")
+		only      = flag.String("only", "", "comma-separated metric units: gate exactly these, replacing the default set")
 	)
 	flag.Parse()
+
+	var onlyUnits map[string]bool
+	if *only != "" {
+		onlyUnits = map[string]bool{}
+		for _, u := range strings.Split(*only, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				onlyUnits[u] = true
+			}
+		}
+	}
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -190,7 +208,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		bad, improved := check(base, prDoc, *tolerance, *gateHost)
+		bad, improved := check(base, prDoc, *tolerance, *gateHost, onlyUnits)
 		for _, line := range improved {
 			fmt.Println("note:", line)
 		}

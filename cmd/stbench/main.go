@@ -15,11 +15,38 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/figures"
 	"repro/internal/hostpar"
 	"repro/internal/isa"
 )
+
+// runHotPath measures raw interpreter speed — host nanoseconds per simulated
+// cycle — on the same three single-worker workloads the BenchmarkHotPath
+// micro-benchmarks and the bench-hotpath CI gate use (see DESIGN.md §14).
+func runHotPath() error {
+	const rounds = 3
+	for _, wl := range []*apps.Workload{
+		apps.Fib(22, apps.ST),
+		apps.Cilksort(6000, apps.ST, 11),
+		apps.NQueens(8, apps.ST),
+	} {
+		var hostNS, vcycles int64
+		for i := 0; i < rounds; i++ {
+			t0 := time.Now()
+			res, err := core.Run(wl, core.Config{Mode: core.StackThreads, Workers: 1, Seed: 1})
+			if err != nil {
+				return fmt.Errorf("%s: %w", wl.Name, err)
+			}
+			hostNS += time.Since(t0).Nanoseconds()
+			vcycles += res.WorkCycles
+		}
+		fmt.Printf("%-10s %7.2f host-ns/vcycle  (%d vcycles/run, %d rounds)\n",
+			wl.Name, float64(hostNS)/float64(vcycles), vcycles/rounds, rounds)
+	}
+	return nil
+}
 
 func main() {
 	var (
@@ -31,8 +58,17 @@ func main() {
 		engine    = flag.String("engine", "default", "host engine per run: sequential or parallel")
 		hostprocs = flag.Int("hostprocs", 0, "host cores for fanning data points and the parallel engine (0 = all)")
 		maxcycles = flag.Int64("maxcycles", 0, "per-run total work-cycle budget (0 = unlimited)")
+		hotpath   = flag.Bool("hotpath", false, "measure interpreter speed (host-ns per virtual cycle) on the hot-path trio")
 	)
 	flag.Parse()
+
+	if *hotpath {
+		if err := runHotPath(); err != nil {
+			fmt.Fprintln(os.Stderr, "stbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	eng, err := core.ParseEngine(*engine)
 	if err != nil {

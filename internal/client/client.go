@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"strconv"
@@ -278,15 +279,21 @@ func (c *Client) backoff(attempt int, floor time.Duration) time.Duration {
 	return d
 }
 
-// parseRetryAfter reads a Retry-After value in either of its HTTP forms:
-// delay-seconds or an HTTP-date.
+// parseRetryAfter reads a Retry-After value in either of its HTTP forms —
+// delay-seconds or an HTTP-date — yielding a zero floor for anything
+// non-positive, in the past, or unparsable. The delta form saturates rather
+// than multiplying blindly: a delay-seconds value above MaxInt64/1e9 used to
+// wrap the duration negative, silently discarding the server's floor.
 func parseRetryAfter(v string) time.Duration {
 	if v == "" {
 		return 0
 	}
-	if s, err := strconv.Atoi(v); err == nil {
-		if s < 0 {
+	if s, err := strconv.ParseInt(v, 10, 64); err == nil {
+		if s <= 0 {
 			return 0
+		}
+		if s > int64(math.MaxInt64/time.Second) {
+			return math.MaxInt64
 		}
 		return time.Duration(s) * time.Second
 	}

@@ -3,6 +3,7 @@ package client
 import (
 	"context"
 	"errors"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -217,20 +218,38 @@ func TestContextCancelStopsRetries(t *testing.T) {
 }
 
 func TestParseRetryAfter(t *testing.T) {
-	if d := parseRetryAfter("3"); d != 3*time.Second {
-		t.Fatalf("seconds form: %v", d)
+	now := time.Now()
+	httpDate := func(t time.Time) string { return t.UTC().Format(http.TimeFormat) }
+	// Each case accepts any duration in [min, max]: the HTTP-date form is
+	// relative to the wall clock, so it only bounds, never pins.
+	cases := []struct {
+		name     string
+		v        string
+		min, max time.Duration
+	}{
+		// delta-seconds form
+		{"empty", "", 0, 0},
+		{"seconds", "3", 3 * time.Second, 3 * time.Second},
+		{"zero", "0", 0, 0},
+		{"negative", "-5", 0, 0},
+		{"huge-but-representable", "9000000000", 9_000_000_000 * time.Second, 9_000_000_000 * time.Second},
+		// 9.3e9 s * 1e9 ns wraps int64; the parse must saturate, not go
+		// negative (a negative floor is silently ignored).
+		{"overflowing", "9300000000", math.MaxInt64, math.MaxInt64},
+		{"overflowing-extreme", "4611686018427387904", math.MaxInt64, math.MaxInt64},
+		{"beyond-int64", "99999999999999999999", 0, 0}, // Atoi fails, not a date either
+		{"fractional", "2.5", 0, 0},
+		// HTTP-date form
+		{"future-date", httpDate(now.Add(10 * time.Second)), 1, 10 * time.Second},
+		{"past-date", httpDate(now.Add(-10 * time.Second)), 0, 0},
+		{"epoch", httpDate(time.Unix(0, 0)), 0, 0},
+		{"garbage", "garbage", 0, 0},
 	}
-	if d := parseRetryAfter(""); d != 0 {
-		t.Fatalf("empty: %v", d)
-	}
-	if d := parseRetryAfter("-5"); d != 0 {
-		t.Fatalf("negative: %v", d)
-	}
-	future := time.Now().Add(10 * time.Second).UTC().Format(http.TimeFormat)
-	if d := parseRetryAfter(future); d <= 0 || d > 10*time.Second {
-		t.Fatalf("http-date form: %v", d)
-	}
-	if d := parseRetryAfter("garbage"); d != 0 {
-		t.Fatalf("garbage: %v", d)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if d := parseRetryAfter(tc.v); d < tc.min || d > tc.max {
+				t.Fatalf("parseRetryAfter(%q) = %v, want in [%v, %v]", tc.v, d, tc.min, tc.max)
+			}
+		})
 	}
 }

@@ -140,6 +140,32 @@ func (o Op) String() string {
 // NumOps is the number of defined opcodes.
 const NumOps = int(numOps)
 
+// Straightline reports whether o always falls through to pc+1 without
+// touching the runtime: executing it can at most update registers or memory,
+// or trap. Straightline instructions are eligible for the interpreter's
+// batched fast path; control transfers (jumps, branches, calls) and poll
+// points are not, and neither is an undefined opcode (the per-instruction
+// path owns the illegal-opcode trap).
+func (o Op) Straightline() bool {
+	switch o {
+	case Jmp, JmpReg, Beq, Bne, Blt, Ble, Bgt, Bge, Call, Poll:
+		return false
+	}
+	return o < numOps
+}
+
+// CanTrap reports whether o can raise a simulated fault mid-execution: a
+// division or modulo by zero, or an out-of-range memory access. The batched
+// interpreter syncs architectural state before each such instruction so a
+// fault surfaces with exactly the per-instruction path's machine state.
+func (o Op) CanTrap() bool {
+	switch o {
+	case Div, Mod, Load, Store, Tas:
+		return true
+	}
+	return false
+}
+
 // Instr is one machine instruction. Semantics by opcode:
 //
 //	Const  Rd <- Imm

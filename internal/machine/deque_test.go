@@ -1,0 +1,111 @@
+package machine
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestDequePopReleasesSlots is the regression test for the ready-queue
+// pointer leak: PopTail used to leave the popped slot reachable in the
+// backing array, and PopHead's reslice pinned the array head for the life of
+// the run. Popped contexts must become collectable as soon as the caller
+// drops them.
+func TestDequePopReleasesSlots(t *testing.T) {
+	var d Deque
+	const n = 64
+	collected := make(chan int64, n)
+	for i := 0; i < n; i++ {
+		c := &Context{ResumePC: int64(i), Top: 1, Bottom: 1}
+		id := c.ResumePC
+		runtime.SetFinalizer(c, func(*Context) { collected <- id })
+		d.PushTail(c)
+	}
+	// Drain from both ends, dropping every popped pointer immediately.
+	for !d.Empty() {
+		if d.Len()%2 == 0 {
+			d.PopHead()
+		} else {
+			d.PopTail()
+		}
+	}
+	if d.Len() != 0 {
+		t.Fatalf("drained deque has Len %d", d.Len())
+	}
+
+	got := 0
+	deadline := time.After(5 * time.Second)
+	for got < n {
+		runtime.GC()
+		select {
+		case <-collected:
+			got++
+		case <-deadline:
+			t.Fatalf("only %d/%d popped contexts were collected; the deque still pins the rest", got, n)
+		}
+	}
+}
+
+// TestDequeNilsPoppedSlots checks the mechanism directly: no slot of the
+// backing array ever holds a popped context.
+func TestDequeNilsPoppedSlots(t *testing.T) {
+	var d Deque
+	for i := 0; i < 10; i++ {
+		d.PushTail(&Context{ResumePC: int64(i), Top: 1, Bottom: 1})
+	}
+	d.PopTail()
+	if got := d.items[len(d.items):cap(d.items)]; len(got) > 0 {
+		for i, c := range got[:1] {
+			if c != nil {
+				t.Errorf("slot %d beyond the tail still holds %v", i, c)
+			}
+		}
+	}
+	d.PopHead()
+	for i := 0; i < d.head; i++ {
+		if d.items[i] != nil {
+			t.Errorf("slot %d before the head still holds %v", i, d.items[i])
+		}
+	}
+	if got, want := d.Len(), 8; got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+	if d.At(0).ResumePC != 1 || d.At(d.Len()-1).ResumePC != 8 {
+		t.Fatalf("window [%d, %d], want [1, 8]", d.At(0).ResumePC, d.At(d.Len()-1).ResumePC)
+	}
+}
+
+// TestDequeHeadCompaction checks the head offset is compacted once it grows
+// past the threshold, so a long-lived deque does not accumulate an unbounded
+// dead prefix.
+func TestDequeHeadCompaction(t *testing.T) {
+	var d Deque
+	const n = 4 * dequeCompactMin
+	for i := 0; i < n; i++ {
+		d.PushTail(&Context{ResumePC: int64(i), Top: 1, Bottom: 1})
+	}
+	// Pop most of the queue from the head: the head offset must stay
+	// bounded instead of marching to n.
+	for i := 0; i < n-8; i++ {
+		if c := d.PopHead(); c.ResumePC != int64(i) {
+			t.Fatalf("PopHead #%d = %d", i, c.ResumePC)
+		}
+	}
+	if d.head >= n/2 {
+		t.Fatalf("head offset %d never compacted (len %d)", d.head, len(d.items))
+	}
+	// FIFO order survives compaction, interleaved with tail pushes.
+	d.PushTail(&Context{ResumePC: int64(n), Top: 1, Bottom: 1})
+	for want := int64(n - 8); want <= int64(n); want++ {
+		c := d.PopHead()
+		if c == nil || c.ResumePC != want {
+			t.Fatalf("PopHead = %v, want %d", c, want)
+		}
+	}
+	if !d.Empty() {
+		t.Fatalf("deque not empty after drain")
+	}
+	if d.head != 0 || len(d.items) != 0 {
+		t.Fatalf("drained deque not reset: head=%d len=%d", d.head, len(d.items))
+	}
+}

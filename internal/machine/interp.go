@@ -27,10 +27,18 @@ func (w *Worker) fail(pc int64, format string, args ...any) {
 // Run executes instructions until an event occurs or the cycle budget is
 // exhausted. The budget is in virtual cycles; pass math.MaxInt64 to run to
 // the next event.
+//
+// The loop is driven by the flat decode cache (decode.go): one entry per pc
+// holding the resolved opcode cost, registers, procedure descriptor, call
+// adjustments and straight-line run metadata. When tracing and observability
+// are off, runs of straightline instructions execute as a batch (runBlock)
+// with cycles charged in bulk and the budget checked only at run boundaries;
+// the batch is entered only when the whole run fits under the deadline, so
+// EvBudget fires at the identical instruction either way.
 func (w *Worker) Run(budget int64) (ev Event) {
 	deadline := w.Cycles + budget
-	if budget == math.MaxInt64 {
-		deadline = math.MaxInt64
+	if budget > 0 && deadline < w.Cycles {
+		deadline = math.MaxInt64 // saturate: a huge finite budget means "run to the next event"
 	}
 	defer func() {
 		if r := recover(); r != nil {
@@ -46,204 +54,349 @@ func (w *Worker) Run(budget int64) (ev Event) {
 		}
 	}()
 
-	code := w.M.Prog.Code
-	cost := &w.M.Cost.OpCost
+	dec := w.M.dec
+	// The batched fast path executes with direct memory access and deferred
+	// state writes, so it requires the plain execution environment: no
+	// tracing, no observability, no speculation overlay, no store hook.
+	// Everything it skips is observationally redundant there, so turning it
+	// off (NoFastPath) changes nothing but host speed.
+	fast := !w.M.Opts.NoFastPath && w.M.Opts.Trace == nil && w.Obs == nil &&
+		w.spec == nil && w.M.storeHook == nil
 
 	for {
 		pc := w.PC
+		// The common case is one predictable branch: pc >= 0 falls straight
+		// through to the decode-cache dispatch. Halt/scheduler sentinels and
+		// restart thunks take the cold path.
 		if pc < 0 {
-			switch pc {
-			case MagicHalt:
-				return EvHalt
-			case MagicSched:
-				return EvBottom
-			default:
-				t, ok := w.takeThunk(pc)
-				if !ok {
-					w.fail(pc, "jump to unknown magic pc")
-				}
-				// Control has returned to an invalid frame: restore the
-				// callee-save registers saved at the restart call
-				// (Section 3.4).
-				if w.Regs[isa.FP] != t.fp {
-					w.fail(pc, "invalid-frame thunk FP mismatch: have %d, want %d", w.Regs[isa.FP], t.fp)
-				}
-				for i := 0; i < isa.NumCalleeSave; i++ {
-					w.Regs[isa.R0+isa.Reg(i)] = t.regs[i]
-				}
-				w.PC = t.resumePC
-				continue
+			ev, done := w.magicPC(pc)
+			if done {
+				return ev
 			}
+			continue
 		}
 		if w.Cycles >= deadline {
 			return EvBudget
 		}
-		if pc >= int64(len(code)) {
+		if pc >= int64(len(dec)) {
 			w.fail(pc, "pc out of program")
 		}
 
-		in := code[pc]
+		d := &dec[pc]
+		if fast && d.runLen > 1 && w.Cycles < deadline-int64(d.runCostButLast) {
+			w.runBlock(pc, d)
+			continue
+		}
+
 		if w.M.Opts.Trace != nil {
 			fmt.Fprintf(w.M.Opts.Trace, "w%d %8d pc=%-5d sp=%-8d fp=%-8d rv=%-6d %v\n",
-				w.ID, w.Cycles, pc, w.Regs[isa.SP], w.Regs[isa.FP], w.Regs[isa.RV], in)
+				w.ID, w.Cycles, pc, w.Regs[isa.SP], w.Regs[isa.FP], w.Regs[isa.RV], w.M.Prog.Code[pc])
 		}
 		w.Stats.Instrs++
-		w.Cycles += cost[in.Op]
+		w.Cycles += int64(d.cost)
 		if w.Obs != nil {
-			w.obsTick(pc, in.Op, cost[in.Op])
+			w.obsTick(pc, d)
 		}
 		next := pc + 1
 
-		switch in.Op {
+		switch d.op {
 		case isa.Nop:
 		case isa.Const:
-			w.Regs[in.Rd] = in.Imm
+			w.Regs[d.rd] = d.imm
 		case isa.Mov:
-			w.Regs[in.Rd] = w.Regs[in.Ra]
+			w.Regs[d.rd] = w.Regs[d.ra]
 		case isa.Add:
-			w.Regs[in.Rd] = w.Regs[in.Ra] + w.Regs[in.Rb]
+			w.Regs[d.rd] = w.Regs[d.ra] + w.Regs[d.rb]
 		case isa.Sub:
-			w.Regs[in.Rd] = w.Regs[in.Ra] - w.Regs[in.Rb]
+			w.Regs[d.rd] = w.Regs[d.ra] - w.Regs[d.rb]
 		case isa.Mul:
-			w.Regs[in.Rd] = w.Regs[in.Ra] * w.Regs[in.Rb]
+			w.Regs[d.rd] = w.Regs[d.ra] * w.Regs[d.rb]
 		case isa.Div:
-			if w.Regs[in.Rb] == 0 {
+			if w.Regs[d.rb] == 0 {
 				w.fail(pc, "division by zero")
 			}
-			w.Regs[in.Rd] = w.Regs[in.Ra] / w.Regs[in.Rb]
+			w.Regs[d.rd] = w.Regs[d.ra] / w.Regs[d.rb]
 		case isa.Mod:
-			if w.Regs[in.Rb] == 0 {
+			if w.Regs[d.rb] == 0 {
 				w.fail(pc, "modulo by zero")
 			}
-			w.Regs[in.Rd] = w.Regs[in.Ra] % w.Regs[in.Rb]
+			w.Regs[d.rd] = w.Regs[d.ra] % w.Regs[d.rb]
 		case isa.And:
-			w.Regs[in.Rd] = w.Regs[in.Ra] & w.Regs[in.Rb]
+			w.Regs[d.rd] = w.Regs[d.ra] & w.Regs[d.rb]
 		case isa.Or:
-			w.Regs[in.Rd] = w.Regs[in.Ra] | w.Regs[in.Rb]
+			w.Regs[d.rd] = w.Regs[d.ra] | w.Regs[d.rb]
 		case isa.Xor:
-			w.Regs[in.Rd] = w.Regs[in.Ra] ^ w.Regs[in.Rb]
+			w.Regs[d.rd] = w.Regs[d.ra] ^ w.Regs[d.rb]
 		case isa.Shl:
-			w.Regs[in.Rd] = w.Regs[in.Ra] << uint64(w.Regs[in.Rb]&63)
+			w.Regs[d.rd] = w.Regs[d.ra] << uint64(w.Regs[d.rb]&63)
 		case isa.Shr:
-			w.Regs[in.Rd] = w.Regs[in.Ra] >> uint64(w.Regs[in.Rb]&63)
+			w.Regs[d.rd] = w.Regs[d.ra] >> uint64(w.Regs[d.rb]&63)
 		case isa.AddI:
-			w.Regs[in.Rd] = w.Regs[in.Ra] + in.Imm
+			w.Regs[d.rd] = w.Regs[d.ra] + d.imm
 		case isa.MulI:
-			w.Regs[in.Rd] = w.Regs[in.Ra] * in.Imm
+			w.Regs[d.rd] = w.Regs[d.ra] * d.imm
 		case isa.Load:
-			w.Regs[in.Rd] = w.memLoad(w.Regs[in.Ra] + in.Imm)
+			w.Regs[d.rd] = w.memLoad(w.Regs[d.ra] + d.imm)
 		case isa.Store:
-			w.memStore(w.Regs[in.Ra]+in.Imm, w.Regs[in.Rb])
+			w.memStore(w.Regs[d.ra]+d.imm, w.Regs[d.rb])
 		case isa.Tas:
 			// Atomic under the discrete-event scheduler: instructions are
 			// indivisible across workers.
-			a := w.Regs[in.Ra] + in.Imm
-			w.Regs[in.Rd] = w.memLoad(a)
+			a := w.Regs[d.ra] + d.imm
+			w.Regs[d.rd] = w.memLoad(a)
 			w.memStore(a, 1)
 		case isa.Jmp:
-			next = in.Imm
+			next = d.imm
 		case isa.JmpReg:
-			next = w.Regs[in.Ra]
+			next = w.Regs[d.ra]
 		case isa.Beq:
-			if w.Regs[in.Ra] == w.Regs[in.Rb] {
-				next = in.Imm
+			if w.Regs[d.ra] == w.Regs[d.rb] {
+				next = d.imm
 			}
 		case isa.Bne:
-			if w.Regs[in.Ra] != w.Regs[in.Rb] {
-				next = in.Imm
+			if w.Regs[d.ra] != w.Regs[d.rb] {
+				next = d.imm
 			}
 		case isa.Blt:
-			if w.Regs[in.Ra] < w.Regs[in.Rb] {
-				next = in.Imm
+			if w.Regs[d.ra] < w.Regs[d.rb] {
+				next = d.imm
 			}
 		case isa.Ble:
-			if w.Regs[in.Ra] <= w.Regs[in.Rb] {
-				next = in.Imm
+			if w.Regs[d.ra] <= w.Regs[d.rb] {
+				next = d.imm
 			}
 		case isa.Bgt:
-			if w.Regs[in.Ra] > w.Regs[in.Rb] {
-				next = in.Imm
+			if w.Regs[d.ra] > w.Regs[d.rb] {
+				next = d.imm
 			}
 		case isa.Bge:
-			if w.Regs[in.Ra] >= w.Regs[in.Rb] {
-				next = in.Imm
+			if w.Regs[d.ra] >= w.Regs[d.rb] {
+				next = d.imm
 			}
 		case isa.Call:
 			w.Regs[isa.LR] = next
-			if b, ok := isa.BuiltinFromTarget(in.Imm); ok {
+			if d.builtin != 0 {
 				// The builtin sets w.PC itself (normally to LR; suspend and
 				// restart transfer control elsewhere).
-				ev, resume := w.builtin(b, pc)
+				ev, resume := w.builtin(isa.Builtin(d.builtin), pc)
 				if !resume {
 					return ev
 				}
 				continue
 			}
 			w.Stats.Calls++
-			d := w.M.descAt[in.Imm]
-			if w.Regs[isa.SP]-d.FrameSize-4 < w.Stack().Lo {
-				w.fail(pc, "stack overflow calling %s", d.Name)
+			t := d.callDesc
+			if t == nil {
+				w.fail(pc, "call to invalid target %d", d.imm)
 			}
-			if depth := w.Stack().Hi - (w.Regs[isa.SP] - d.FrameSize); depth > w.Stats.StackHighWater {
+			if w.Regs[isa.SP]-t.FrameSize-4 < w.Stack().Lo {
+				w.fail(pc, "stack overflow calling %s", t.Name)
+			}
+			if depth := w.Stack().Hi - (w.Regs[isa.SP] - t.FrameSize); depth > w.Stats.StackHighWater {
 				w.Stats.StackHighWater = depth
 			}
-			// Code-generation cost settings (Figures 17-20): register
-			// windows make prologue saves and epilogue restores free;
-			// omitted frame pointers shorten both by a fixed amount.
-			if w.M.Opts.RegWindows && w.M.Cost.RegWindowSave {
-				// A windowed call spills lazily: the prologue's save-area
-				// traffic (callee-saves plus the return-address and FP
-				// links) and the matching epilogue reloads are refunded.
-				w.Cycles -= int64(len(d.SavedRegs)+2) * (cost[isa.Store] + cost[isa.Load])
-			}
-			if w.M.Opts.OmitFP && w.M.Cost.OmitFPRefund > 0 {
-				w.Cycles -= w.M.Cost.OmitFPRefund
-			}
-			if w.M.Opts.CilkCost {
-				if w.M.isForkPC[pc] {
-					w.Cycles += w.M.Cost.CilkSpawnCost
-				}
-				if d.Augmented {
-					w.Cycles -= w.M.augRefund
-				}
-			}
-			next = in.Imm
+			// The code-generation cost settings (Figures 17-20: register
+			// windows, omitted frame pointers, Cilk spawn/check accounting)
+			// collapse to one precomputed adjustment; see decode.go.
+			w.Cycles += int64(d.callAdjust)
+			next = d.imm
 		case isa.Poll:
 			if w.M.Opts.CilkCost {
-				w.Cycles -= cost[isa.Poll] // Cilk code has no poll points
+				w.Cycles -= int64(d.cost) // Cilk code has no poll points
 			} else if w.PollSignal {
 				w.PC = next
 				return EvPoll
 			}
 		case isa.FAdd:
-			w.Regs[in.Rd] = f2b(b2f(w.Regs[in.Ra]) + b2f(w.Regs[in.Rb]))
+			w.Regs[d.rd] = f2b(b2f(w.Regs[d.ra]) + b2f(w.Regs[d.rb]))
 		case isa.FSub:
-			w.Regs[in.Rd] = f2b(b2f(w.Regs[in.Ra]) - b2f(w.Regs[in.Rb]))
+			w.Regs[d.rd] = f2b(b2f(w.Regs[d.ra]) - b2f(w.Regs[d.rb]))
 		case isa.FMul:
-			w.Regs[in.Rd] = f2b(b2f(w.Regs[in.Ra]) * b2f(w.Regs[in.Rb]))
+			w.Regs[d.rd] = f2b(b2f(w.Regs[d.ra]) * b2f(w.Regs[d.rb]))
 		case isa.FDiv:
-			w.Regs[in.Rd] = f2b(b2f(w.Regs[in.Ra]) / b2f(w.Regs[in.Rb]))
+			w.Regs[d.rd] = f2b(b2f(w.Regs[d.ra]) / b2f(w.Regs[d.rb]))
 		case isa.FNeg:
-			w.Regs[in.Rd] = f2b(-b2f(w.Regs[in.Ra]))
+			w.Regs[d.rd] = f2b(-b2f(w.Regs[d.ra]))
 		case isa.FCmp:
-			a, b := b2f(w.Regs[in.Ra]), b2f(w.Regs[in.Rb])
+			a, b := b2f(w.Regs[d.ra]), b2f(w.Regs[d.rb])
 			switch {
 			case a < b:
-				w.Regs[in.Rd] = -1
+				w.Regs[d.rd] = -1
 			case a > b:
-				w.Regs[in.Rd] = 1
+				w.Regs[d.rd] = 1
 			default:
-				w.Regs[in.Rd] = 0
+				w.Regs[d.rd] = 0
 			}
 		case isa.ItoF:
-			w.Regs[in.Rd] = f2b(float64(w.Regs[in.Ra]))
+			w.Regs[d.rd] = f2b(float64(w.Regs[d.ra]))
 		case isa.FtoI:
-			w.Regs[in.Rd] = int64(b2f(w.Regs[in.Ra]))
+			w.Regs[d.rd] = int64(b2f(w.Regs[d.ra]))
 		default:
-			w.fail(pc, "illegal opcode %v", in.Op)
+			w.fail(pc, "illegal opcode %v", d.op)
 		}
 		w.PC = next
 	}
+}
+
+// magicPC handles a control transfer to a negative pc: the halt and
+// scheduler sentinels end the run (done=true), and a restart thunk restores
+// the callee-save registers saved at the restart call and redirects w.PC
+// (Section 3.4). Kept out of Run so the hot loop's pc >= 0 case stays
+// fall-through.
+func (w *Worker) magicPC(pc int64) (Event, bool) {
+	switch pc {
+	case MagicHalt:
+		return EvHalt, true
+	case MagicSched:
+		return EvBottom, true
+	}
+	t, ok := w.takeThunk(pc)
+	if !ok {
+		w.fail(pc, "jump to unknown magic pc")
+	}
+	// Control has returned to an invalid frame: restore the callee-save
+	// registers saved at the restart call (Section 3.4).
+	if w.Regs[isa.FP] != t.fp {
+		w.fail(pc, "invalid-frame thunk FP mismatch: have %d, want %d", w.Regs[isa.FP], t.fp)
+	}
+	for i := 0; i < isa.NumCalleeSave; i++ {
+		w.Regs[isa.R0+isa.Reg(i)] = t.regs[i]
+	}
+	w.PC = t.resumePC
+	return 0, false
+}
+
+// runBlock executes the whole straight-line run of d0.runLen instructions
+// starting at pc `start` as one batch: registers and memory update in place,
+// but PC, cycles and the instruction count are written once at the end. The
+// caller has already verified the entire run fits under the budget deadline
+// and that the execution environment is plain (no tracing, observability,
+// speculation or store hook), and straightline instructions cannot branch or
+// reach the runtime, so no per-instruction checks are needed and memory is
+// accessed directly with an inline guard check. The only panics a block can
+// raise are its own simulated faults, each preceded by blockSync, which
+// synchronizes PC/cycles/instruction count to the exact state the
+// per-instruction path would hold at the trap (the faulting instruction
+// charged and counted, w.PC naming it) — required both for Run's trap
+// formatting and for the engines' trap-state determinism.
+func (w *Worker) runBlock(start int64, d0 *decoded) {
+	dec := w.M.dec
+	words := w.M.Mem.Words()
+	size := int64(len(words))
+	end := start + int64(d0.runLen)
+	regs := &w.Regs
+	for pc := start; pc < end; pc++ {
+		d := &dec[pc]
+		switch d.op {
+		case isa.Nop:
+		case isa.Const:
+			regs[d.rd] = d.imm
+		case isa.Mov:
+			regs[d.rd] = regs[d.ra]
+		case isa.Add:
+			regs[d.rd] = regs[d.ra] + regs[d.rb]
+		case isa.Sub:
+			regs[d.rd] = regs[d.ra] - regs[d.rb]
+		case isa.Mul:
+			regs[d.rd] = regs[d.ra] * regs[d.rb]
+		case isa.Div:
+			if regs[d.rb] == 0 {
+				w.blockSync(start, pc, d0)
+				w.fail(pc, "division by zero")
+			}
+			regs[d.rd] = regs[d.ra] / regs[d.rb]
+		case isa.Mod:
+			if regs[d.rb] == 0 {
+				w.blockSync(start, pc, d0)
+				w.fail(pc, "modulo by zero")
+			}
+			regs[d.rd] = regs[d.ra] % regs[d.rb]
+		case isa.And:
+			regs[d.rd] = regs[d.ra] & regs[d.rb]
+		case isa.Or:
+			regs[d.rd] = regs[d.ra] | regs[d.rb]
+		case isa.Xor:
+			regs[d.rd] = regs[d.ra] ^ regs[d.rb]
+		case isa.Shl:
+			regs[d.rd] = regs[d.ra] << uint64(regs[d.rb]&63)
+		case isa.Shr:
+			regs[d.rd] = regs[d.ra] >> uint64(regs[d.rb]&63)
+		case isa.AddI:
+			regs[d.rd] = regs[d.ra] + d.imm
+		case isa.MulI:
+			regs[d.rd] = regs[d.ra] * d.imm
+		case isa.Load:
+			a := regs[d.ra] + d.imm
+			if a < mem.Guard || a >= size {
+				w.blockTrap(start, pc, d0, "load", a)
+			}
+			regs[d.rd] = words[a]
+		case isa.Store:
+			a := regs[d.ra] + d.imm
+			if a < mem.Guard || a >= size {
+				w.blockTrap(start, pc, d0, "store", a)
+			}
+			words[a] = regs[d.rb]
+		case isa.Tas:
+			a := regs[d.ra] + d.imm
+			if a < mem.Guard || a >= size {
+				w.blockTrap(start, pc, d0, "load", a)
+			}
+			regs[d.rd] = words[a]
+			words[a] = 1
+		case isa.FAdd:
+			regs[d.rd] = f2b(b2f(regs[d.ra]) + b2f(regs[d.rb]))
+		case isa.FSub:
+			regs[d.rd] = f2b(b2f(regs[d.ra]) - b2f(regs[d.rb]))
+		case isa.FMul:
+			regs[d.rd] = f2b(b2f(regs[d.ra]) * b2f(regs[d.rb]))
+		case isa.FDiv:
+			regs[d.rd] = f2b(b2f(regs[d.ra]) / b2f(regs[d.rb]))
+		case isa.FNeg:
+			regs[d.rd] = f2b(-b2f(regs[d.ra]))
+		case isa.FCmp:
+			a, b := b2f(regs[d.ra]), b2f(regs[d.rb])
+			switch {
+			case a < b:
+				regs[d.rd] = -1
+			case a > b:
+				regs[d.rd] = 1
+			default:
+				regs[d.rd] = 0
+			}
+		case isa.ItoF:
+			regs[d.rd] = f2b(float64(regs[d.ra]))
+		case isa.FtoI:
+			regs[d.rd] = int64(b2f(regs[d.ra]))
+		default:
+			// Unreachable: only Straightline ops are batched.
+			w.blockSync(start, pc, d0)
+			w.fail(pc, "illegal opcode %v", d.op)
+		}
+	}
+	w.Cycles += int64(d0.runCost)
+	w.Stats.Instrs += int64(d0.runLen)
+	w.PC = end
+}
+
+// blockSync synchronizes the worker's architectural state to the exact
+// per-instruction state at pc inside the batch starting at start: the
+// instructions before pc completed, pc's cost is charged and its execution
+// counted, and w.PC names it. Within a run, runCost is a suffix sum, so the
+// completed prefix costs d0.runCost - d.runCost. Called only on the cold
+// trap paths.
+func (w *Worker) blockSync(start, pc int64, d0 *decoded) {
+	d := &w.M.dec[pc]
+	w.PC = pc
+	w.Cycles += int64(d0.runCost-d.runCost) + int64(d.cost)
+	w.Stats.Instrs += (pc - start) + 1
+}
+
+// blockTrap raises the memory trap the per-instruction path's memLoad or
+// memStore would raise at pc, with identical worker state.
+func (w *Worker) blockTrap(start, pc int64, d0 *decoded, kind string, a int64) {
+	w.blockSync(start, pc, d0)
+	panic(&mem.Trap{Kind: kind, Addr: a})
 }
 
 func b2f(v int64) float64 { return math.Float64frombits(uint64(v)) }

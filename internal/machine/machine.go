@@ -104,6 +104,11 @@ type Options struct {
 	// attribution, the sampling profiler and the trace event stream. Nil
 	// costs nothing — collection never charges virtual cycles either way.
 	Obs *obs.Collector
+	// NoFastPath forces the interpreter onto its per-instruction reference
+	// path, disabling straight-line batching. Tests use it to prove the fast
+	// path is observationally identical; nothing in the production paths
+	// (core, sched, stserve) ever sets it.
+	NoFastPath bool
 }
 
 // DefaultStackWords is the per-worker physical stack size when
@@ -132,6 +137,10 @@ type Machine struct {
 	// augRefund is the dynamic cost of the epilogue free check, refunded
 	// per call in Cilk cost mode.
 	augRefund int64
+	// dec is the flat per-pc decode cache driving the interpreter: resolved
+	// descriptors, costs, call adjustments and straight-line run metadata
+	// (see decode.go). Immutable after New.
+	dec []decoded
 
 	thunks    map[int64]*thunk
 	nextThunk int64
@@ -205,6 +214,7 @@ func New(prog *isa.Program, memory *mem.Memory, cost *isa.CostModel, nWorkers in
 		opts.Obs.Attach(prog)
 	}
 	m.augRefund = cost.OpCost[isa.Load] + cost.OpCost[isa.Bge] + cost.OpCost[isa.Blt]
+	m.buildDecode()
 	for i := 0; i < nWorkers; i++ {
 		w := newWorker(m, i)
 		m.Workers = append(m.Workers, w)
@@ -473,40 +483,79 @@ func (w *Worker) FP() int64 { return w.Regs[isa.FP] }
 
 // Deque is the doubly-ended ready queue of Lazy Task Creation (Figure 11):
 // resumed threads enter the tail, the scheduler pops the head, and thieves
-// take from the tail.
+// take from the tail. Popped slots are nilled out and the head offset is
+// compacted as it grows, so a popped Context is collectable as soon as the
+// runtime drops its own reference — a long run must not pin every context
+// that ever passed through the queue.
 type Deque struct {
 	items []*Context
+	head  int
 }
 
+// dequeCompactMin is the head offset below which PopHead never compacts;
+// past it, compaction triggers once the live window is at most half the
+// backing array.
+const dequeCompactMin = 32
+
 // Len returns the number of queued contexts.
-func (d *Deque) Len() int { return len(d.items) }
+func (d *Deque) Len() int { return len(d.items) - d.head }
 
 // Empty reports whether the deque is empty.
-func (d *Deque) Empty() bool { return len(d.items) == 0 }
+func (d *Deque) Empty() bool { return d.head == len(d.items) }
 
 // PushTail enqueues c at the tail.
 func (d *Deque) PushTail(c *Context) { d.items = append(d.items, c) }
 
 // PopHead removes and returns the head context; nil when empty.
 func (d *Deque) PopHead() *Context {
-	if len(d.items) == 0 {
+	if d.head == len(d.items) {
 		return nil
 	}
-	c := d.items[0]
-	d.items = d.items[1:]
+	c := d.items[d.head]
+	d.items[d.head] = nil
+	d.head++
+	if d.head == len(d.items) {
+		d.items = d.items[:0]
+		d.head = 0
+	} else if d.head >= dequeCompactMin && d.head*2 >= len(d.items) {
+		n := copy(d.items, d.items[d.head:])
+		clear(d.items[n:])
+		d.items = d.items[:n]
+		d.head = 0
+	}
 	return c
 }
 
 // PopTail removes and returns the tail context; nil when empty.
 func (d *Deque) PopTail() *Context {
-	if len(d.items) == 0 {
+	if d.head == len(d.items) {
 		return nil
 	}
 	c := d.items[len(d.items)-1]
+	d.items[len(d.items)-1] = nil
 	d.items = d.items[:len(d.items)-1]
+	if d.head == len(d.items) {
+		d.items = d.items[:0]
+		d.head = 0
+	}
 	return c
 }
 
 // At returns the i-th context from the head without removing it (the
 // invariant auditor walks queued contexts read-only).
-func (d *Deque) At(i int) *Context { return d.items[i] }
+func (d *Deque) At(i int) *Context { return d.items[d.head+i] }
+
+// snapshot returns the queued contexts head-to-tail in a fresh slice
+// (speculation capture).
+func (d *Deque) snapshot() []*Context {
+	s := make([]*Context, d.Len())
+	copy(s, d.items[d.head:])
+	return s
+}
+
+// restoreFrom resets the deque to hold exactly cs, head-to-tail, consuming
+// the slice (speculation restore).
+func (d *Deque) restoreFrom(cs []*Context) {
+	d.items = cs
+	d.head = 0
+}

@@ -24,13 +24,13 @@ const obsMaxStackDepth = 64
 // In Cilk cost mode neither attribution applies: the interpreter refunds
 // poll points entirely and refunds the check per call, so charging them to
 // a phase would double-book cycles the run never pays.
-func (w *Worker) obsTick(pc int64, op isa.Op, cost int64) {
+func (w *Worker) obsTick(pc int64, d *decoded) {
 	o := w.Obs
 	if !w.M.Opts.CilkCost {
-		if w.M.isCheckPC[pc] {
-			o.Charge(obs.PhaseEpilogue, cost)
-		} else if op == isa.Poll {
-			o.Charge(obs.PhasePoll, cost)
+		if d.isCheck {
+			o.Charge(obs.PhaseEpilogue, int64(d.cost))
+		} else if d.op == isa.Poll {
+			o.Charge(obs.PhasePoll, int64(d.cost))
 		}
 	}
 	if w.Cycles >= o.NextSample {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/core"
 	"repro/internal/isa"
+	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/stlib"
 )
@@ -161,6 +162,99 @@ func emitTree(u *asm.Unit, root *rnode) {
 	m.Load(isa.RV, isa.T0, 0)
 	m.Ret(isa.RV)
 	stlib.AddBoot(u, "rmain", 1)
+}
+
+// TestRandomTreesFastPathCycleExact is the fast-path equivalence property:
+// on random fork trees, a machine running with the batched fast path must be
+// cycle- and state-identical to one charging every instruction individually
+// (Options.NoFastPath), at every budget boundary and every scheduler event,
+// not just at the end. The runs are sliced into odd 97-cycle budgets so
+// EvBudget lands mid-batch.
+func TestRandomTreesFastPathCycleExact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz")
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		root, _ := genTree(rng, 30)
+		want := expected(root)
+
+		u := asm.NewUnit()
+		stlib.AddJoinLib(u)
+		emitTree(u, root)
+		w := &apps.Workload{
+			Name:    "randtree",
+			Variant: apps.ST,
+			Procs:   u.MustBuild(),
+			Entry:   stlib.ProcBoot,
+		}
+		prog, err := w.Compile()
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v", seed, err)
+		}
+
+		newWorker := func(noFast bool) *machine.Worker {
+			m := machine.New(prog, mem.New(1<<10), isa.SPARC(), 1, machine.Options{
+				StackWords: 1 << 13,
+				NoFastPath: noFast,
+				Seed:       uint64(seed),
+			})
+			acc, err := m.Mem.Alloc(1)
+			if err != nil {
+				t.Fatalf("seed %d: alloc: %v", seed, err)
+			}
+			lock, _ := m.Mem.Alloc(1)
+			env, _ := m.Mem.Alloc(2)
+			m.Mem.WriteWords(env, []int64{acc, lock})
+			wk := m.Workers[0]
+			wk.StartCall(prog.EntryOf[stlib.ProcBoot], []int64{env})
+			return wk
+		}
+		wf, ws := newWorker(false), newWorker(true)
+
+		same := func(step int) {
+			t.Helper()
+			if wf.PC != ws.PC || wf.Cycles != ws.Cycles || wf.Regs != ws.Regs ||
+				wf.Stats != ws.Stats || wf.ReadyQ.Len() != ws.ReadyQ.Len() {
+				t.Fatalf("seed %d step %d: fast/slow state diverged:\n  fast: pc=%d cycles=%d ready=%d stats=%+v\n  slow: pc=%d cycles=%d ready=%d stats=%+v",
+					seed, step, wf.PC, wf.Cycles, wf.ReadyQ.Len(), wf.Stats,
+					ws.PC, ws.Cycles, ws.ReadyQ.Len(), ws.Stats)
+			}
+		}
+
+	lockstep:
+		for step := 0; ; step++ {
+			if step > 10_000_000 {
+				t.Fatalf("seed %d: runaway program", seed)
+			}
+			evF, evS := wf.Run(97), ws.Run(97)
+			if evF != evS {
+				t.Fatalf("seed %d step %d: events diverged: fast=%v slow=%v", seed, step, evF, evS)
+			}
+			same(step)
+			switch evF {
+			case machine.EvBudget, machine.EvPoll:
+			case machine.EvBottom:
+				for _, wk := range []*machine.Worker{wf, ws} {
+					wk.Shrink()
+					c := wk.ReadyQ.PopHead()
+					if c == nil {
+						t.Fatalf("seed %d step %d: deadlock at bottom", seed, step)
+					}
+					wk.StartThread(c)
+				}
+				same(step)
+			case machine.EvHalt:
+				break lockstep
+			default:
+				t.Fatalf("seed %d step %d: unexpected event %v (errs %v / %v)",
+					seed, step, evF, wf.Err, ws.Err)
+			}
+		}
+		if wf.Regs[isa.RV] != want || ws.Regs[isa.RV] != want {
+			t.Fatalf("seed %d: acc fast=%d slow=%d want %d", seed, wf.Regs[isa.RV], ws.Regs[isa.RV], want)
+		}
+	}
 }
 
 func TestRandomForkTrees(t *testing.T) {

@@ -43,18 +43,18 @@ func (w *Worker) readContext(addr int64) *Context {
 // enforced — anything but loads and the final indirect jump is a fault.
 func (w *Worker) runPureEpilogue(d *isa.Desc) int64 {
 	pc := d.PureEpilogue
-	code := w.M.Prog.Code
+	dec := w.M.dec
 	for {
-		in := code[pc]
+		in := &dec[pc]
 		w.Stats.Instrs++
-		w.Cycles += w.M.Cost.OpCost[in.Op]
-		switch in.Op {
+		w.Cycles += int64(in.cost)
+		switch in.op {
 		case isa.Load:
-			w.Regs[in.Rd] = w.memLoad(w.Regs[in.Ra] + in.Imm)
+			w.Regs[in.rd] = w.memLoad(w.Regs[in.ra] + in.imm)
 		case isa.JmpReg:
-			return w.Regs[in.Ra]
+			return w.Regs[in.ra]
 		default:
-			w.fail(pc, "impure instruction %v in pure epilogue of %s", in.Op, d.Name)
+			w.fail(pc, "impure instruction %v in pure epilogue of %s", in.op, d.Name)
 		}
 		pc++
 	}

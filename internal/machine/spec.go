@@ -218,7 +218,7 @@ func (w *Worker) capture() *workerSnap {
 		stats:  w.Stats,
 		cur:    w.cur,
 		poll:   w.PollSignal,
-		ready:  slices.Clone(w.ReadyQ.items),
+		ready:  w.ReadyQ.snapshot(),
 		free:   slices.Clone(w.free),
 	}
 	for _, sg := range w.Segs {
@@ -243,7 +243,7 @@ func (w *Worker) restore(s *workerSnap) {
 	w.Stats = s.stats
 	w.cur = s.cur
 	w.PollSignal = s.poll
-	w.ReadyQ.items = s.ready
+	w.ReadyQ.restoreFrom(s.ready)
 	w.free = s.free
 	for i := range s.segs {
 		w.Segs[i].Exported = s.segs[i].exported

@@ -67,6 +67,13 @@ func New(heapWords int) *Memory {
 // Size returns the total number of mapped words (including the guard).
 func (m *Memory) Size() Addr { return Addr(len(m.words)) }
 
+// Words exposes the backing word array (index = address) for the
+// interpreter's batched fast path, which performs its own guard check per
+// access. The slice header is invalidated by the next MapStack/MapWords or
+// heap growth, so callers must re-fetch it at every batch boundary and never
+// retain it across a runtime call.
+func (m *Memory) Words() []int64 { return m.words }
+
 // HeapLo returns the first heap address.
 func (m *Memory) HeapLo() Addr { return m.heapLo }
 

@@ -3,12 +3,16 @@ package sched_test
 import (
 	"context"
 	"errors"
+	"math"
 	"reflect"
 	"testing"
 
 	"repro/internal/apps"
 	"repro/internal/asm"
 	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/mem"
 	"repro/internal/stlib"
 )
 
@@ -130,6 +134,58 @@ func TestCycleBudgetNotTriggered(t *testing.T) {
 				t.Fatalf("budgeted run differs:\n  base:     %+v\n  budgeted: %+v", base, budgeted)
 			}
 		})
+	}
+}
+
+// TestRunDeadlineSaturates is the regression test for the interpreter's
+// budget-deadline overflow: Worker.Run computed deadline = Cycles + budget,
+// which wraps negative for a large-but-finite budget once the worker has
+// accumulated cycles, making Run report EvBudget instantly forever. The
+// deadline must saturate instead, so such a budget means "run to the next
+// real event".
+func TestRunDeadlineSaturates(t *testing.T) {
+	wl := apps.Fib(12, apps.Seq)
+	prog, err := wl.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.New(prog, mem.New(1<<10), isa.SPARC(), 1, machine.Options{StackWords: 1 << 13})
+	w := m.Workers[0]
+	w.StartCall(prog.EntryOf[wl.Entry], wl.Args)
+	// Accumulate some cycles first so Cycles + (MaxInt64-1) overflows.
+	if ev := w.Run(1000); ev != machine.EvBudget {
+		t.Fatalf("warm-up slice ended with %v, want EvBudget", ev)
+	}
+	c0 := w.Cycles
+	ev := w.Run(math.MaxInt64 - 1)
+	if ev != machine.EvHalt {
+		t.Fatalf("Run(MaxInt64-1) = %v at cycles %d (slice started at %d), want EvHalt", ev, w.Cycles, c0)
+	}
+	if w.Cycles <= c0 {
+		t.Fatalf("run made no progress past cycle %d", c0)
+	}
+}
+
+// TestHugeFiniteQuantum drives the same overflow through the scheduler: a
+// quantum just below MaxInt64 must behave like an effectively unbounded
+// slice (the run completes with the right answer), not livelock on
+// spurious budget events.
+func TestHugeFiniteQuantum(t *testing.T) {
+	res, err := core.Run(apps.Fib(12, apps.ST), core.Config{
+		Mode: core.StackThreads, Workers: 2, Seed: 1,
+		Quantum: math.MaxInt64 - 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := core.Run(apps.Fib(12, apps.ST), core.Config{
+		Mode: core.StackThreads, Workers: 2, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RV != base.RV {
+		t.Fatalf("huge-quantum run returned %d, want %d", res.RV, base.RV)
 	}
 }
 
