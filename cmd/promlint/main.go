@@ -1,0 +1,45 @@
+// Command promlint validates Prometheus text exposition format (version
+// 0.0.4) the way the repository's serving CI consumes it: TYPE lines must
+// precede their samples, names and values must be well-formed, and every
+// histogram must carry a monotone cumulative bucket series ending in +Inf
+// that agrees with its _count.
+//
+// Usage:
+//
+//	curl -s localhost:8135/metrics?format=prom | promlint
+//	promlint metrics.prom
+//
+// Exit status 0 when the input is clean, 1 on the first violation (printed
+// to stderr), 2 on usage errors.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	var in io.Reader = os.Stdin
+	name := "<stdin>"
+	switch len(os.Args) {
+	case 1:
+	case 2:
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "promlint:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in, name = f, os.Args[1]
+	default:
+		fmt.Fprintln(os.Stderr, "usage: promlint [file]")
+		os.Exit(2)
+	}
+	if err := obs.CheckExposition(in); err != nil {
+		fmt.Fprintf(os.Stderr, "promlint: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+}

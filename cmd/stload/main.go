@@ -13,19 +13,27 @@
 //	stload -addr http://127.0.0.1:8135 -app fib -workers 8 -c 1,2,4 -n 100
 //	stload -app fib,cilksort -seeds 0 -n 200      # mixed, all-cold workload
 //	stload -app fib -seeds 1 -n 200               # one tuple: cache-hit path
+//	stload -app fib -n 20 -json                   # machine-readable report
+//	stload -app fib -n 20 -trace out.json         # two-clock Chrome trace
 //
 // -seeds S cycles seeds 1..S across requests (S=1 repeats one canonical
 // tuple, measuring the cache-hit path; S=0 gives every request a unique
 // seed, measuring cold runs).
+//
+// -trace writes a single Chrome trace_event file joining both clock
+// domains: the host wall-clock serving spans (client request/backoff, and
+// the server's enqueue-wait/cache-probe/execute spans returned on each
+// job) on pid 0, and the deterministic virtual-time machine trace of the
+// first -tracejobs jobs per level on pid 1+, correlated by trace_id.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -33,30 +41,46 @@ import (
 	"time"
 
 	"repro/internal/client"
+	"repro/internal/obs"
 )
 
 type jobView struct {
-	ID      string `json:"id"`
-	State   string `json:"state"`
-	Cache   string `json:"cache"`
-	Error   string `json:"error"`
-	Failure string `json:"failure"`
+	ID        string          `json:"id"`
+	TraceID   string          `json:"trace_id"`
+	State     string          `json:"state"`
+	Cache     string          `json:"cache"`
+	Error     string          `json:"error"`
+	Failure   string          `json:"failure"`
+	HostSpans []obs.HostSpan  `json:"host_spans"`
+	Trace     json.RawMessage `json:"trace"`
 }
 
 type levelStats struct {
 	mu        sync.Mutex
-	latencies []time.Duration
+	hist      *obs.Histogram // request latency, µs
 	hits      int64
 	errors    int64
-	retried   atomic.Int64 // 429/503/transport retries (client OnRetry hook)
+	spans     []obs.HostSpan // server-side spans returned on each job
+	jobTraces []obs.JobTrace // virtual traces of the first -tracejobs jobs
+	retried   atomic.Int64   // 429/503/transport retries (client OnRetry hook)
 }
 
-func percentile(sorted []time.Duration, p float64) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(p * float64(len(sorted)-1))
-	return sorted[i]
+// levelResult is one concurrency level's machine-readable report (-json).
+type levelResult struct {
+	Concurrency   int               `json:"concurrency"`
+	Completed     int64             `json:"completed"`
+	Errors        int64             `json:"errors"`
+	Retries       int64             `json:"retries"`
+	CacheHits     int64             `json:"cache_hits"`
+	ElapsedUs     int64             `json:"elapsed_us"`
+	ThroughputRPS float64           `json:"throughput_rps"`
+	PercentilesUs obs.PercentileSet `json:"percentiles_us"`
+	LatencyUs     obs.HistSnapshot  `json:"latency_us"`
+}
+
+// us renders a µs-valued percentile as a rounded duration for the table.
+func us(v int64) time.Duration {
+	return (time.Duration(v) * time.Microsecond).Round(time.Microsecond)
 }
 
 func main() {
@@ -77,6 +101,9 @@ func main() {
 		audit     = flag.Int("audit", 0, "per-job invariant-audit cadence in scheduler picks (0 = off)")
 		retries   = flag.Int("retries", 6, "attempts per request before giving up (429/503/transport)")
 		timeout   = flag.Duration("timeout", 5*time.Minute, "HTTP client timeout per request")
+		jsonOut   = flag.Bool("json", false, "emit one machine-readable JSON report (histogram + percentiles per level)")
+		traceOut  = flag.String("trace", "", "write a two-clock Chrome trace (host + virtual, joined by trace_id) to this file")
+		traceJobs = flag.Int("tracejobs", 4, "with -trace: fetch the virtual-time trace of the first N jobs per level")
 	)
 	flag.Parse()
 
@@ -91,11 +118,23 @@ func main() {
 		levelList = append(levelList, v)
 	}
 
+	// With -trace, the client's own request/backoff spans land in this
+	// recorder under the same trace ids the server sees.
+	var hostRec *obs.HostRecorder
+	if *traceOut != "" {
+		hostRec = obs.NewHostRecorder(0)
+	}
+
 	var totalCompleted int64
-	fmt.Printf("%-6s %10s %8s %8s %8s %12s %10s %10s %10s %10s\n",
-		"conc", "completed", "errors", "retries", "hits", "thr req/s", "p50", "p90", "p99", "max")
-	for _, c := range levelList {
-		st := &levelStats{}
+	var results []levelResult
+	var allSpans []obs.HostSpan
+	var allTraces []obs.JobTrace
+	if !*jsonOut {
+		fmt.Printf("%-6s %10s %8s %8s %8s %12s %10s %10s %10s %10s\n",
+			"conc", "completed", "errors", "retries", "hits", "thr req/s", "p50", "p90", "p99", "max")
+	}
+	for li, c := range levelList {
+		st := &levelStats{hist: &obs.Histogram{}}
 		// One client per level so the retry counter and jitter stream are
 		// the level's own.
 		cl := client.New(client.Config{
@@ -103,6 +142,7 @@ func main() {
 			HTTPClient:  &http.Client{Timeout: *timeout},
 			MaxAttempts: *retries,
 			OnRetry:     func(client.RetryInfo) { st.retried.Add(1) },
+			Host:        hostRec,
 		})
 		var seq atomic.Int64
 		start := time.Now()
@@ -148,9 +188,21 @@ func main() {
 					if *audit > 0 {
 						req["audit"] = *audit
 					}
+					// Tracing: mint the trace id client-side so both clock
+					// domains carry it; ask the first -tracejobs jobs for
+					// their virtual-time trace artifact.
+					traceID := ""
+					wantTrace := false
+					if *traceOut != "" {
+						traceID = fmt.Sprintf("lt-%d-%d", li, k)
+						wantTrace = k < int64(*traceJobs)
+						if wantTrace {
+							req["trace"] = true
+						}
+					}
 					var view jobView
 					t0 := time.Now()
-					err := cl.PostJSON(context.Background(), "/jobs", req, &view)
+					err := cl.PostJSONTrace(context.Background(), "/jobs", traceID, req, &view)
 					lat := time.Since(t0)
 					st.mu.Lock()
 					switch {
@@ -159,9 +211,17 @@ func main() {
 					case view.State != "done":
 						st.errors++
 					default:
-						st.latencies = append(st.latencies, lat)
+						st.hist.Observe(lat.Microseconds())
 						if view.Cache == "hit" {
 							st.hits++
+						}
+						if *traceOut != "" {
+							st.spans = append(st.spans, view.HostSpans...)
+							if wantTrace && len(view.Trace) > 0 {
+								st.jobTraces = append(st.jobTraces, obs.JobTrace{
+									TraceID: view.TraceID, Job: view.ID, Trace: view.Trace,
+								})
+							}
 						}
 					}
 					st.mu.Unlock()
@@ -171,19 +231,69 @@ func main() {
 		wg.Wait()
 		elapsed := time.Since(start)
 
-		sort.Slice(st.latencies, func(i, j int) bool { return st.latencies[i] < st.latencies[j] })
-		completed := len(st.latencies)
-		totalCompleted += int64(completed)
+		completed := st.hist.Count()
+		totalCompleted += completed
 		thr := float64(completed) / elapsed.Seconds()
-		fmt.Printf("c=%-4d %10d %8d %8d %8d %12.1f %10v %10v %10v %10v\n",
-			c, completed, st.errors, st.retried.Load(), st.hits, thr,
-			percentile(st.latencies, 0.50).Round(time.Microsecond),
-			percentile(st.latencies, 0.90).Round(time.Microsecond),
-			percentile(st.latencies, 0.99).Round(time.Microsecond),
-			percentile(st.latencies, 1.00).Round(time.Microsecond))
+		pcts := st.hist.Percentiles()
+		if *jsonOut {
+			reg := obs.NewRegistry()
+			*reg.Histogram("latency_us") = *st.hist
+			results = append(results, levelResult{
+				Concurrency:   c,
+				Completed:     completed,
+				Errors:        st.errors,
+				Retries:       st.retried.Load(),
+				CacheHits:     st.hits,
+				ElapsedUs:     elapsed.Microseconds(),
+				ThroughputRPS: thr,
+				PercentilesUs: pcts,
+				LatencyUs:     reg.Snapshot().Histograms["latency_us"],
+			})
+		} else {
+			fmt.Printf("c=%-4d %10d %8d %8d %8d %12.1f %10v %10v %10v %10v\n",
+				c, completed, st.errors, st.retried.Load(), st.hits, thr,
+				us(pcts.P50), us(pcts.P90), us(pcts.P99), us(pcts.Max))
+		}
+
+		if *traceOut != "" {
+			allSpans = append(allSpans, st.spans...)
+			allTraces = append(allTraces, st.jobTraces...)
+		}
 	}
-	fmt.Printf("total completed=%d\n", totalCompleted)
+	if *traceOut != "" {
+		// Client spans (request, retry-backoff) from the shared recorder,
+		// server spans returned on each job, and the collected virtual
+		// traces, merged into one two-clock file.
+		allSpans = append(allSpans, hostRec.Spans()...)
+		if err := writeTwoClock(*traceOut, allSpans, allTraces); err != nil {
+			fmt.Fprintf(os.Stderr, "stload: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(map[string]any{"levels": results, "total_completed": totalCompleted}); err != nil {
+			fmt.Fprintf(os.Stderr, "stload: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Printf("total completed=%d\n", totalCompleted)
+	}
 	if totalCompleted == 0 {
 		os.Exit(1)
 	}
+}
+
+// writeTwoClock writes the merged two-clock Chrome trace file.
+func writeTwoClock(path string, host []obs.HostSpan, jobs []obs.JobTrace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteTwoClockTrace(f, host, jobs); err != nil {
+		f.Close()
+		return fmt.Errorf("write two-clock trace: %w", err)
+	}
+	return f.Close()
 }

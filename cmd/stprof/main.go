@@ -10,6 +10,7 @@
 //	stprof -app fib -workers 4
 //	stprof -app cilksort -mode cilk -workers 8 -top 5
 //	stprof -app fib -workers 4 -chrome trace.json -metrics metrics.json
+//	stprof -app fib -workers 4 -prom metrics.prom
 package main
 
 import (
@@ -34,6 +35,7 @@ func main() {
 		top     = flag.Int("top", 10, "rows in the profile top table (0 = all)")
 		chrome  = flag.String("chrome", "", "write Chrome trace_event JSON to this file")
 		metrics = flag.String("metrics", "", "write the metrics registry snapshot to this file")
+		prom    = flag.String("prom", "", "write the metrics registry in Prometheus text exposition format to this file")
 	)
 	flag.Parse()
 
@@ -85,6 +87,20 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\nmetrics snapshot written to %s\n", *metrics)
+	}
+	if *prom != "" {
+		f, err := os.Create(*prom)
+		if err == nil {
+			err = obs.WritePrometheus(f, c.Metrics.Snapshot(), "st")
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stprof: prom:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("prometheus exposition written to %s\n", *prom)
 	}
 	if *chrome != "" {
 		f, err := os.Create(*chrome)

@@ -7,14 +7,25 @@
 //	stserve -addr :8135 -hostprocs 4 -queue 64 -cache 256
 //	stserve -watchdog 30s -breaker-threshold 8         # hardened serving
 //	stserve -fault serve-panic:7                       # chaos drill
+//	stserve -log text                                  # human-readable logs
 //
 // API (see internal/server):
 //
 //	POST   /jobs        {"app":"fib","mode":"st","workers":8,"seed":1,"wait":true}
+//	                    an X-Trace-Id header joins the job to the client's
+//	                    end-to-end trace (minted when absent, always echoed)
 //	GET    /jobs/{id}   status; ?wait=1 blocks until terminal
 //	DELETE /jobs/{id}   cancel
-//	GET    /metrics     metrics registry snapshot
-//	GET    /healthz     liveness
+//	GET    /metrics     metrics registry snapshot (?format=prom for
+//	                    Prometheus text exposition)
+//	GET    /debug/jobs  live in-flight jobs: phase, progress, queue depth,
+//	                    breaker state, engine contention
+//	GET    /healthz     liveness + draining flag
+//
+// Serving events are logged structured (JSON by default, -log text for
+// human-readable, -log off to silence) to stderr, each carrying the job's
+// trace_id. -spans bounds the in-memory ring of wall-clock serving spans
+// backing the two-clock trace export.
 //
 // On SIGTERM/SIGINT the server stops admitting (503), finishes every
 // accepted job, flushes a final metrics snapshot to stdout, and exits 0.
@@ -27,6 +38,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -35,6 +47,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/hostpar"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -51,6 +64,8 @@ func main() {
 		bthresh   = flag.Int("breaker-threshold", 0, "host failures in the window that open the load-shedding breaker (0 = default 8, negative disables)")
 		bwindow   = flag.Duration("breaker-window", 0, "sliding window the breaker counts failures over (0 = default 10s)")
 		bcooldown = flag.Duration("breaker-cooldown", 0, "how long an open breaker sheds before probing (0 = default 2s)")
+		logMode   = flag.String("log", "json", "structured serving log to stderr: json, text or off")
+		spans     = flag.Int("spans", 0, "server-wide host-span ring bound (0 = default 4096, negative disables)")
 	)
 	flag.Parse()
 
@@ -58,6 +73,21 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stserve:", err)
 		os.Exit(2)
+	}
+	var logger *slog.Logger
+	switch *logMode {
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	case "text":
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "off":
+	default:
+		fmt.Fprintf(os.Stderr, "stserve: -log %q: want json, text or off\n", *logMode)
+		os.Exit(2)
+	}
+	var hostRec *obs.HostRecorder
+	if *spans >= 0 {
+		hostRec = obs.NewHostRecorder(*spans)
 	}
 	s := server.New(server.Config{
 		QueueBound:       *queue,
@@ -70,6 +100,8 @@ func main() {
 		BreakerThreshold: *bthresh,
 		BreakerWindow:    *bwindow,
 		BreakerCooldown:  *bcooldown,
+		HostSpans:        hostRec,
+		Log:              logger,
 	})
 	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
 

@@ -25,7 +25,14 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
+
+// TraceHeader is the request-scoped trace id header (the server's
+// server.TraceHeader; duplicated so the client does not drag the serving
+// stack into its import graph).
+const TraceHeader = "X-Trace-Id"
 
 // Config parameterizes a Client. The zero value of every field is usable:
 // defaults are filled in by New.
@@ -54,6 +61,11 @@ type Config struct {
 	// OnRetry, when non-nil, observes every retry decision just before
 	// the wait. It must not block.
 	OnRetry func(RetryInfo)
+
+	// Host, when non-nil, records a wall-clock span per HTTP attempt
+	// ("request") and per backoff wait ("retry-backoff"), each tagged with
+	// the request's trace id — the client half of the two-clock trace.
+	Host *obs.HostRecorder
 }
 
 // RetryInfo describes one retry decision.
@@ -164,24 +176,39 @@ func New(cfg Config) *Client {
 // under the backoff policy and, once attempts are exhausted, wrapped in a
 // *RetryError.
 func (c *Client) PostJSON(ctx context.Context, path string, in, out any) error {
+	return c.PostJSONTrace(ctx, path, "", in, out)
+}
+
+// PostJSONTrace is PostJSON with a trace id sent as the X-Trace-Id header,
+// joining the request to an end-to-end trace; empty sends no header (the
+// server mints an id).
+func (c *Client) PostJSONTrace(ctx context.Context, path, traceID string, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return fmt.Errorf("client: encode request: %w", err)
 	}
-	return c.do(ctx, http.MethodPost, path, body, out)
+	return c.do(ctx, http.MethodPost, path, traceID, body, out)
 }
 
 // GetJSON GETs path and decodes the 2xx response body into out.
 func (c *Client) GetJSON(ctx context.Context, path string, out any) error {
-	return c.do(ctx, http.MethodGet, path, nil, out)
+	return c.do(ctx, http.MethodGet, path, "", nil, out)
+}
+
+// GetJSONTrace is GetJSON with a trace id header.
+func (c *Client) GetJSONTrace(ctx context.Context, path, traceID string, out any) error {
+	return c.do(ctx, http.MethodGet, path, traceID, nil, out)
 }
 
 // do runs the retry loop: attempt, classify, wait, repeat.
-func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+func (c *Client) do(ctx context.Context, method, path, traceID string, body []byte, out any) error {
 	var last error
 	var floor time.Duration
 	for attempt := 1; ; attempt++ {
-		err := c.once(ctx, method, path, body, out)
+		t0 := time.Now()
+		err := c.once(ctx, method, path, traceID, body, out)
+		c.cfg.Host.Span(traceID, "", "request", t0, time.Now(),
+			obs.Arg{K: "attempt", V: int64(attempt)}, obs.Arg{K: "ok", V: b2i(err == nil)})
 		if err == nil {
 			return nil
 		}
@@ -206,14 +233,26 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 		if c.cfg.OnRetry != nil {
 			c.cfg.OnRetry(RetryInfo{Attempt: attempt, Wait: wait, Floor: floor, Cause: last})
 		}
+		w0 := time.Now()
 		if err := c.sleep(ctx, wait); err != nil {
 			return err
 		}
+		c.cfg.Host.Span(traceID, "", "retry-backoff", w0, time.Now(),
+			obs.Arg{K: "attempt", V: int64(attempt)},
+			obs.Arg{K: "floor_us", V: floor.Microseconds()})
 	}
 }
 
+// b2i is the span-arg form of a bool.
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // once makes a single HTTP attempt.
-func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) error {
+func (c *Client) once(ctx context.Context, method, path, traceID string, body []byte, out any) error {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -224,6 +263,9 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if traceID != "" {
+		req.Header.Set(TraceHeader, traceID)
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {

@@ -184,6 +184,15 @@ type Config struct {
 	// violation aborts the run with a typed *invariant.Violation.
 	// Auditing never changes a run's bytes.
 	Audit *invariant.Auditor
+	// Progress, when non-nil, receives a live host-visible view of the
+	// run's advancement (work cycles, picks), updated at scheduler pick
+	// boundaries (and between sequential slices). Read concurrently by
+	// serving-side introspection; never changes a run's bytes.
+	Progress *obs.Progress
+	// Contention, when non-nil, collects host-side engine contention
+	// counters (speculation commits/reruns/discards). Host-timing-
+	// dependent: diagnostics only, never part of a deterministic artifact.
+	Contention *sched.Contention
 	// Out receives simulated program output (print builtins).
 	Out io.Writer
 	// RegWindows, OmitFP and LockedLib select the code-generation cost
@@ -287,16 +296,20 @@ func RunProgram(prog *isa.Program, w *apps.Workload, cfg Config) (*Result, error
 	case Sequential:
 		var rv int64
 		var err error
-		if cfg.MaxWorkCycles > 0 || cfg.Ctx != nil || cfg.Audit != nil {
-			// Slice the run so the budget, the context and the auditor are
-			// checked periodically; slicing leaves the simulation
-			// byte-identical.
+		if cfg.MaxWorkCycles > 0 || cfg.Ctx != nil || cfg.Audit != nil || cfg.Progress != nil {
+			// Slice the run so the budget, the context, the auditor and the
+			// progress view are serviced periodically; slicing leaves the
+			// simulation byte-identical.
 			slice := cfg.Quantum
 			if slice <= 0 {
 				slice = 10_000
 			}
 			stop := ctxStop(cfg.Ctx)
 			check := func(used int64) error {
+				if p := cfg.Progress; p != nil {
+					p.WorkCycles.Store(used)
+					p.Picks.Add(1)
+				}
 				if cfg.MaxWorkCycles > 0 && used > cfg.MaxWorkCycles {
 					return &CycleBudgetError{Budget: cfg.MaxWorkCycles, Used: used}
 				}
@@ -344,6 +357,8 @@ func RunProgram(prog *isa.Program, w *apps.Workload, cfg Config) (*Result, error
 			Audit:         cfg.Audit,
 			Engine:        cfg.Engine.schedEngine(),
 			HostProcs:     hostProcs(cfg.HostProcs),
+			Progress:      cfg.Progress,
+			Contention:    cfg.Contention,
 		})
 		if err != nil {
 			return nil, err

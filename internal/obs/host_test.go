@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHostRecorderRingAndOverwriteAccounting(t *testing.T) {
+	r := NewHostRecorder(3)
+	base := time.UnixMicro(1_000_000)
+	for i := 0; i < 5; i++ {
+		r.Span("t-1", "j-1", "s", base.Add(time.Duration(i)*time.Millisecond),
+			base.Add(time.Duration(i)*time.Millisecond+time.Millisecond))
+	}
+	spans := r.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("len(Spans) = %d, want 3 (ring bound)", len(spans))
+	}
+	if r.Overwritten() != 2 {
+		t.Fatalf("Overwritten = %d, want 2", r.Overwritten())
+	}
+	// Oldest-first, and the survivors are the most recent three.
+	if spans[0].Start >= spans[1].Start || spans[1].Start >= spans[2].Start {
+		t.Fatalf("spans not oldest-first: %+v", spans)
+	}
+	if got, want := spans[2].Start, base.Add(4*time.Millisecond).UnixMicro(); got != want {
+		t.Fatalf("newest span start = %d, want %d", got, want)
+	}
+}
+
+func TestHostRecorderNilIsDisabled(t *testing.T) {
+	var r *HostRecorder
+	r.Span("t", "j", "s", time.Now(), time.Now())
+	r.Instant("t", "j", "i", time.Now())
+	if r.Spans() != nil || r.Overwritten() != 0 {
+		t.Fatal("nil recorder must be empty")
+	}
+}
+
+// TestWriteTwoClockTrace merges host spans with a real virtual-time trace
+// and checks the joined file: host spans on pid 0 with trace_id args, the
+// virtual trace re-homed to its own pid carrying the same trace_id.
+func TestWriteTwoClockTrace(t *testing.T) {
+	// A tiny virtual-time trace from a real collector.
+	c := New()
+	c.Span(0, 100, 0, "user-work")
+	c.Instant(50, 0, "steal-request", Arg{K: "victim", V: 1})
+	var vt bytes.Buffer
+	if err := c.WriteChromeTrace(&vt); err != nil {
+		t.Fatal(err)
+	}
+
+	base := time.UnixMicro(2_000_000)
+	host := []HostSpan{
+		{TraceID: "t-42", Job: "j-1", Name: "enqueue-wait", Start: base.UnixMicro(), Dur: 150},
+		{TraceID: "t-42", Job: "j-1", Name: "execute", Start: base.UnixMicro() + 150, Dur: 900},
+		{Name: "drain", Start: base.UnixMicro() + 2000, Dur: 10},
+	}
+	var out bytes.Buffer
+	err := WriteTwoClockTrace(&out, host, []JobTrace{{TraceID: "t-42", Job: "j-1", Trace: vt.Bytes()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var parsed struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Ts   int64          `json:"ts"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &parsed); err != nil {
+		t.Fatalf("merged trace is not valid JSON: %v", err)
+	}
+
+	var sawHostSpan, sawVirtualSpan, sawVirtualProc bool
+	for _, e := range parsed.TraceEvents {
+		switch {
+		case e.Pid == 0 && e.Name == "execute":
+			sawHostSpan = true
+			if e.Args["trace_id"] != "t-42" {
+				t.Errorf("host span missing trace_id join: args %v", e.Args)
+			}
+			if e.Ts != 150 { // relative to the earliest host span
+				t.Errorf("host span ts = %d, want 150 (epoch-relative)", e.Ts)
+			}
+		case e.Pid == 1 && e.Name == "user-work":
+			sawVirtualSpan = true
+		case e.Pid == 1 && e.Name == "process_name":
+			sawVirtualProc = true
+			if e.Args["trace_id"] != "t-42" {
+				t.Errorf("virtual process missing trace_id join: args %v", e.Args)
+			}
+		}
+	}
+	if !sawHostSpan || !sawVirtualSpan || !sawVirtualProc {
+		t.Fatalf("merged trace incomplete: host=%v virtual=%v proc=%v\n%s",
+			sawHostSpan, sawVirtualSpan, sawVirtualProc, out.String())
+	}
+	if !strings.Contains(out.String(), "two-clock trace") {
+		t.Error("metadata note missing")
+	}
+}

@@ -95,8 +95,8 @@ const DefaultSamplePeriod = 521
 // Arg is one key/value annotation on a trace event. Events carry ordered
 // slices rather than maps so that every export is byte-deterministic.
 type Arg struct {
-	K string
-	V int64
+	K string `json:"k"`
+	V int64  `json:"v"`
 }
 
 // Event is one entry of the enriched event stream: an instant, a span

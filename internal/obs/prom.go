@@ -1,0 +1,258 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file renders a Registry snapshot in the Prometheus text exposition
+// format (version 0.0.4) and provides the minimal validator the CI smoke
+// job lints scrapes with. The name mapping is mechanical and documented in
+// DESIGN.md §15: every metric gets the caller's prefix, non-identifier
+// characters become underscores, counters gain the conventional _total
+// suffix, and histograms render cumulative le buckets from the registry's
+// non-cumulative power-of-two ones. One boundary nuance: the registry's
+// bucket upper bounds are exclusive (v < le) while Prometheus's are
+// inclusive (v <= le); for integer observations the skew affects only
+// values exactly on a power of two and is documented rather than papered
+// over.
+
+// promName sanitizes s into a legal Prometheus metric-name suffix.
+func promName(s string) string {
+	var b strings.Builder
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format. Families are emitted in sorted name order (counters, then gauges,
+// then histograms), so equal snapshots render byte-identically.
+func WritePrometheus(w io.Writer, s Snapshot, prefix string) error {
+	bw := bufio.NewWriter(w)
+	if prefix != "" && !strings.HasSuffix(prefix, "_") {
+		prefix += "_"
+	}
+
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fam := prefix + promName(n) + "_total"
+		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", fam, fam, s.Counters[n])
+	}
+
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fam := prefix + promName(n)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %d\n", fam, fam, s.Gauges[n])
+	}
+
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		fam := prefix + promName(n)
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", fam)
+		var cum int64
+		for _, b := range h.Bkts {
+			if b.Le == math.MaxInt64 {
+				continue // folded into the +Inf bucket below
+			}
+			cum += b.N
+			fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", fam, b.Le, cum)
+		}
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", fam, h.Count)
+		fmt.Fprintf(bw, "%s_sum %d\n", fam, h.Sum)
+		fmt.Fprintf(bw, "%s_count %d\n", fam, h.Count)
+	}
+	return bw.Flush()
+}
+
+// CheckExposition is a minimal Prometheus text-format validator: it accepts
+// exactly the subset WritePrometheus emits (plus HELP lines), and rejects
+// the classic corruptions — samples before their TYPE line, malformed
+// names or values, histograms missing their +Inf bucket or _count/_sum,
+// non-monotone cumulative buckets. CI scrapes /metrics?format=prom and
+// lints it with this (via cmd/promlint), so a regression in the renderer
+// fails the smoke job rather than a downstream scraper.
+func CheckExposition(r io.Reader) error {
+	types := map[string]string{}      // family -> declared type
+	histSeen := map[string]*histChk{} // family -> bucket bookkeeping
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			f := strings.Fields(text)
+			if len(f) < 3 || (f[1] != "TYPE" && f[1] != "HELP") {
+				return fmt.Errorf("prom: line %d: malformed comment %q", line, text)
+			}
+			if f[1] == "TYPE" {
+				if len(f) != 4 {
+					return fmt.Errorf("prom: line %d: TYPE wants 'name type'", line)
+				}
+				name, typ := f[2], f[3]
+				if !validPromName(name) {
+					return fmt.Errorf("prom: line %d: bad metric name %q", line, name)
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("prom: line %d: unknown type %q", line, typ)
+				}
+				if _, dup := types[name]; dup {
+					return fmt.Errorf("prom: line %d: duplicate TYPE for %s", line, name)
+				}
+				types[name] = typ
+				if typ == "histogram" {
+					histSeen[name] = &histChk{lastCum: -1}
+				}
+			}
+			continue
+		}
+		name, labels, val, err := parseSample(text)
+		if err != nil {
+			return fmt.Errorf("prom: line %d: %w", line, err)
+		}
+		fam := histFamily(name)
+		if typ, ok := types[fam]; ok && typ == "histogram" {
+			hc := histSeen[fam]
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				le, ok := labels["le"]
+				if !ok {
+					return fmt.Errorf("prom: line %d: %s without le label", line, name)
+				}
+				if le == "+Inf" {
+					hc.inf = true
+				}
+				if val < float64(hc.lastCum) {
+					return fmt.Errorf("prom: line %d: %s cumulative count decreased", line, fam)
+				}
+				hc.lastCum = int64(val)
+			case strings.HasSuffix(name, "_sum"):
+				hc.sum = true
+			case strings.HasSuffix(name, "_count"):
+				hc.count = true
+				hc.countVal = val
+			}
+			continue
+		}
+		if _, ok := types[name]; !ok {
+			return fmt.Errorf("prom: line %d: sample %s before its TYPE line", line, name)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("prom: read: %w", err)
+	}
+	for fam, hc := range histSeen {
+		switch {
+		case !hc.inf:
+			return fmt.Errorf("prom: histogram %s has no +Inf bucket", fam)
+		case !hc.sum || !hc.count:
+			return fmt.Errorf("prom: histogram %s missing _sum or _count", fam)
+		case hc.countVal != float64(hc.lastCum):
+			return fmt.Errorf("prom: histogram %s: _count %g != +Inf bucket %d", fam, hc.countVal, hc.lastCum)
+		}
+	}
+	return nil
+}
+
+type histChk struct {
+	inf, sum, count bool
+	lastCum         int64
+	countVal        float64
+}
+
+// histFamily strips a histogram sample suffix to recover the family name.
+func histFamily(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if f, ok := strings.CutSuffix(name, suf); ok {
+			return f
+		}
+	}
+	return name
+}
+
+func validPromName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// parseSample splits "name{l1=\"v1\",...} value" (labels optional).
+func parseSample(text string) (name string, labels map[string]string, val float64, err error) {
+	rest := text
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.IndexByte(rest, '}')
+		if j < i {
+			return "", nil, 0, fmt.Errorf("unterminated label set in %q", text)
+		}
+		labels = map[string]string{}
+		for _, pair := range strings.Split(rest[i+1:j], ",") {
+			if pair == "" {
+				continue
+			}
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok || len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+				return "", nil, 0, fmt.Errorf("malformed label %q", pair)
+			}
+			labels[k] = v[1 : len(v)-1]
+		}
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		f := strings.Fields(rest)
+		if len(f) != 2 {
+			return "", nil, 0, fmt.Errorf("malformed sample %q", text)
+		}
+		name, rest = f[0], f[1]
+	}
+	if !validPromName(name) {
+		return "", nil, 0, fmt.Errorf("bad metric name %q", name)
+	}
+	if rest == "+Inf" || rest == "-Inf" || rest == "NaN" {
+		return name, labels, math.Inf(1), nil
+	}
+	v, perr := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if perr != nil {
+		return "", nil, 0, fmt.Errorf("bad sample value in %q", text)
+	}
+	return name, labels, v, nil
+}

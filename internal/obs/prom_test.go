@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func promSample(t *testing.T) (Snapshot, string) {
+	t.Helper()
+	r := NewRegistry()
+	r.Counter("jobs_accepted").Add(12)
+	r.Counter("cache_hits").Add(5)
+	r.Gauge("queue_depth").Set(3)
+	h := r.Histogram("queue_wait_us")
+	for _, v := range []int64{1, 2, 3, 100, 5000} {
+		h.Observe(v)
+	}
+	var out bytes.Buffer
+	if err := WritePrometheus(&out, r.Snapshot(), "st"); err != nil {
+		t.Fatal(err)
+	}
+	return r.Snapshot(), out.String()
+}
+
+func TestWritePrometheusShapeAndDeterminism(t *testing.T) {
+	s, text := promSample(t)
+	for _, want := range []string{
+		"# TYPE st_jobs_accepted_total counter",
+		"st_jobs_accepted_total 12",
+		"# TYPE st_queue_depth gauge",
+		"st_queue_depth 3",
+		"# TYPE st_queue_wait_us histogram",
+		`st_queue_wait_us_bucket{le="+Inf"} 5`,
+		"st_queue_wait_us_sum 5106",
+		"st_queue_wait_us_count 5",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	// Byte-identical re-render: map iteration must not leak into the output.
+	var again bytes.Buffer
+	if err := WritePrometheus(&again, s, "st"); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != text {
+		t.Error("two renders of the same snapshot differ")
+	}
+}
+
+func TestCheckExpositionAcceptsRenderer(t *testing.T) {
+	_, text := promSample(t)
+	if err := CheckExposition(strings.NewReader(text)); err != nil {
+		t.Fatalf("validator rejects our own renderer: %v", err)
+	}
+}
+
+func TestCheckExpositionRejectsCorruptions(t *testing.T) {
+	cases := []struct {
+		name, text string
+	}{
+		{"sample-before-type", "st_x 1\n# TYPE st_x counter\n"},
+		{"bad-name", "# TYPE 9bad counter\n9bad 1\n"},
+		{"bad-value", "# TYPE st_x counter\nst_x one\n"},
+		{"bucket-without-le", "# TYPE st_h histogram\nst_h_bucket 3\nst_h_bucket{le=\"+Inf\"} 3\nst_h_sum 1\nst_h_count 3\n"},
+		{"no-inf-bucket", "# TYPE st_h histogram\nst_h_bucket{le=\"2\"} 3\nst_h_sum 1\nst_h_count 3\n"},
+		{"missing-count", "# TYPE st_h histogram\nst_h_bucket{le=\"+Inf\"} 3\nst_h_sum 1\n"},
+		{"decreasing-cumulative", "# TYPE st_h histogram\nst_h_bucket{le=\"2\"} 3\nst_h_bucket{le=\"4\"} 2\nst_h_bucket{le=\"+Inf\"} 3\nst_h_sum 1\nst_h_count 3\n"},
+		{"count-mismatch", "# TYPE st_h histogram\nst_h_bucket{le=\"+Inf\"} 3\nst_h_sum 1\nst_h_count 4\n"},
+		{"duplicate-type", "# TYPE st_x counter\n# TYPE st_x counter\nst_x 1\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := CheckExposition(strings.NewReader(c.text)); err == nil {
+				t.Errorf("validator accepted corrupt exposition:\n%s", c.text)
+			}
+		})
+	}
+}

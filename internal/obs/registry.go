@@ -98,6 +98,76 @@ func (h *Histogram) Min() int64 { return h.min }
 // Max returns the largest observation (0 when empty).
 func (h *Histogram) Max() int64 { return h.max }
 
+// Quantile returns the q-quantile (q in [0,1]) of the observed values,
+// estimated from the power-of-two buckets: the bucket holding the rank is
+// located exactly, and the value is linearly interpolated inside it, with
+// the bucket bounds clamped to the observed min/max. The estimate is exact
+// when all observations in the rank's bucket are equal (in particular for
+// single-valued histograms) and otherwise off by at most the bucket width.
+// Integer arithmetic keeps equal histograms agreeing across hosts.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := int64(q * float64(h.count-1)) // 0-based nearest rank
+	var cum int64
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		if rank >= cum+n {
+			cum += n
+			continue
+		}
+		lo, hi := h.min, int64(0) // bucket 0 holds v <= 0, so min <= 0 here
+		if i > 0 {
+			lo = int64(1) << uint(i-1)
+			hi = int64(1)<<uint(i) - 1
+			if i == histBuckets-1 {
+				hi = h.max // overflow bucket: clamp to the observed ceiling
+			}
+		}
+		if lo < h.min {
+			lo = h.min
+		}
+		if hi > h.max {
+			hi = h.max
+		}
+		if hi <= lo {
+			return lo
+		}
+		// Interpolate across the bucket's n ranks.
+		return lo + (hi-lo)*(rank-cum)/n
+	}
+	return h.max
+}
+
+// PercentileSet is the conventional latency summary read off a histogram.
+type PercentileSet struct {
+	P50 int64 `json:"p50"`
+	P90 int64 `json:"p90"`
+	P95 int64 `json:"p95"`
+	P99 int64 `json:"p99"`
+	Max int64 `json:"max"`
+}
+
+// Percentiles summarizes the histogram at the conventional cut points.
+func (h *Histogram) Percentiles() PercentileSet {
+	return PercentileSet{
+		P50: h.Quantile(0.50),
+		P90: h.Quantile(0.90),
+		P95: h.Quantile(0.95),
+		P99: h.Quantile(0.99),
+		Max: h.max,
+	}
+}
+
 // Counter returns (creating if needed) the named counter.
 func (r *Registry) Counter(name string) *Counter {
 	c, ok := r.counters[name]

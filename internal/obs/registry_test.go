@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"sort"
+	"testing"
+)
+
+// exactQuantile is the reference: nearest-rank over the raw observations,
+// the same rule stload's hand-rolled percentile code used.
+func exactQuantile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[int(q*float64(len(sorted)-1))]
+}
+
+func TestHistogramQuantileTable(t *testing.T) {
+	cases := []struct {
+		name string
+		obs  []int64
+		q    float64
+		want int64
+	}{
+		{"empty", nil, 0.5, 0},
+		{"single", []int64{7}, 0.5, 7},
+		{"single-p0", []int64{7}, 0, 7},
+		{"single-p100", []int64{7}, 1, 7},
+		{"two-min", []int64{3, 9}, 0, 3},
+		{"two-max", []int64{3, 9}, 1, 9},
+		{"same-value", []int64{5, 5, 5, 5}, 0.99, 5},
+		{"zero-and-neg", []int64{-4, -2, 0}, 0, -4},
+		{"zero-and-neg-max", []int64{-4, -2, 0}, 1, 0},
+		{"powers", []int64{1, 2, 4, 8, 16}, 1, 16},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var h Histogram
+			for _, v := range c.obs {
+				h.Observe(v)
+			}
+			if got := h.Quantile(c.q); got != c.want {
+				t.Errorf("Quantile(%v) over %v = %d, want %d", c.q, c.obs, got, c.want)
+			}
+		})
+	}
+}
+
+// TestHistogramQuantileBounded checks the documented accuracy contract on a
+// spread distribution: every quantile estimate lands inside the bucket the
+// exact nearest-rank answer falls in (within a factor of two), and clamps
+// to the observed extrema.
+func TestHistogramQuantileBounded(t *testing.T) {
+	var h Histogram
+	var raw []int64
+	v := int64(1)
+	for i := 0; i < 500; i++ {
+		v = (v*31 + 17) % 100_000
+		h.Observe(v)
+		raw = append(raw, v)
+	}
+	sort.Slice(raw, func(i, j int) bool { return raw[i] < raw[j] })
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.95, 0.99, 1} {
+		got := h.Quantile(q)
+		want := exactQuantile(raw, q)
+		lo, hi := want/2, want*2+1
+		if got < lo || got > hi {
+			t.Errorf("Quantile(%v) = %d, want within [%d, %d] of exact %d", q, got, lo, hi, want)
+		}
+		if got < raw[0] || got > raw[len(raw)-1] {
+			t.Errorf("Quantile(%v) = %d escapes observed range [%d, %d]", q, got, raw[0], raw[len(raw)-1])
+		}
+	}
+}
+
+func TestHistogramPercentilesMonotone(t *testing.T) {
+	var h Histogram
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i * 3)
+	}
+	p := h.Percentiles()
+	if !(p.P50 <= p.P90 && p.P90 <= p.P95 && p.P95 <= p.P99 && p.P99 <= p.Max) {
+		t.Fatalf("percentiles not monotone: %+v", p)
+	}
+	if p.Max != 3000 {
+		t.Fatalf("Max = %d, want 3000", p.Max)
+	}
+}

@@ -1,0 +1,62 @@
+package sched
+
+import "sync/atomic"
+
+// Contention aggregates host-side engine contention counters: how often the
+// parallel engine's speculation machinery launched, committed, reran, or
+// wholesale-discarded work. These counts depend on host timing (how many
+// epochs fit between oracle picks, which speculations survive validation),
+// so — unlike Result and the obs metrics registry — they are NOT
+// deterministic and must never enter a deterministic artifact. They exist
+// for live diagnostics: stserve folds them into its host-side metrics and
+// /debug/jobs, and the coming work-stealing throughput engine will report
+// its steal contention through the same struct.
+//
+// All fields are atomics: one Contention may be shared by concurrent runs
+// (the server aggregates a single process-wide instance) and read live
+// while runs are in flight. A nil *Contention disables every update behind
+// one pointer check.
+type Contention struct {
+	// SpecEpochs counts parallel epochs launched (each speculates one
+	// quantum for every runnable worker).
+	SpecEpochs atomic.Int64
+	// SpecLaunched counts individual speculations launched across epochs.
+	SpecLaunched atomic.Int64
+	// SpecCommits counts speculations that validated and committed;
+	// SpecReruns counts picks that had to re-execute the quantum (no
+	// speculation, or validation failed).
+	SpecCommits atomic.Int64
+	SpecReruns  atomic.Int64
+	// SpecDiscards counts speculations thrown away wholesale before their
+	// pick (a thief-driven Cilk steal mutated a running victim mid-epoch).
+	SpecDiscards atomic.Int64
+	// SerialFallbacks counts parallel-engine runs that degraded to pure
+	// direct execution (one host slot, or instruction tracing on).
+	SerialFallbacks atomic.Int64
+}
+
+// ContentionSnapshot is the JSON form of a Contention read.
+type ContentionSnapshot struct {
+	SpecEpochs      int64 `json:"spec_epochs"`
+	SpecLaunched    int64 `json:"spec_launched"`
+	SpecCommits     int64 `json:"spec_commits"`
+	SpecReruns      int64 `json:"spec_reruns"`
+	SpecDiscards    int64 `json:"spec_discards"`
+	SerialFallbacks int64 `json:"serial_fallbacks"`
+}
+
+// Snapshot reads the counters. The read is per-field atomic, not a
+// consistent cut — fine for diagnostics, meaningless for determinism.
+func (c *Contention) Snapshot() ContentionSnapshot {
+	if c == nil {
+		return ContentionSnapshot{}
+	}
+	return ContentionSnapshot{
+		SpecEpochs:      c.SpecEpochs.Load(),
+		SpecLaunched:    c.SpecLaunched.Load(),
+		SpecCommits:     c.SpecCommits.Load(),
+		SpecReruns:      c.SpecReruns.Load(),
+		SpecDiscards:    c.SpecDiscards.Load(),
+		SerialFallbacks: c.SerialFallbacks.Load(),
+	}
+}

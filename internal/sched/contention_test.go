@@ -1,0 +1,72 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/obs"
+)
+
+// TestContentionCountersTrackSpeculation runs the parallel engine with a
+// Contention sink attached and cross-checks its counts against the white-
+// box speculation hook: the host-side diagnostics must agree with what the
+// engine actually did, and must not perturb the result.
+func TestContentionCountersTrackSpeculation(t *testing.T) {
+	w := apps.Fib(18, apps.ST)
+	prog, err := w.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(cont *Contention, prog2 *obs.Progress) *Result {
+		m := machine.New(prog, mem.New(1<<20), isa.SPARC(), 4, machine.Options{Seed: 1})
+		res, err := Run(m, w.Entry, w.Args, Config{
+			Mode: ModeST, Seed: 1, Engine: EngineParallel, HostProcs: 4,
+			Contention: cont, Progress: prog2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	var hookCommits, hookReruns int64
+	testHookSpecStats = func(c, r int64) { hookCommits, hookReruns = c, r }
+	defer func() { testHookSpecStats = nil }()
+
+	cont := &Contention{}
+	progress := &obs.Progress{}
+	res := run(cont, progress)
+	snap := cont.Snapshot()
+
+	if snap.SpecCommits != hookCommits || snap.SpecReruns != hookReruns {
+		t.Errorf("contention (commits=%d reruns=%d) disagrees with hook (commits=%d reruns=%d)",
+			snap.SpecCommits, snap.SpecReruns, hookCommits, hookReruns)
+	}
+	if snap.SpecEpochs == 0 || snap.SpecLaunched < snap.SpecCommits {
+		t.Errorf("implausible epoch accounting: %+v", snap)
+	}
+	if progress.Picks.Load() == 0 {
+		t.Error("progress saw no picks")
+	}
+	if got := progress.WorkCycles.Load(); got <= 0 || got > res.WorkCycles {
+		t.Errorf("final progress work = %d, want in (0, %d]", got, res.WorkCycles)
+	}
+
+	// Attaching the sinks must not change the run's bytes.
+	bare := run(nil, nil)
+	if bare.RV != res.RV || bare.Time != res.Time || bare.WorkCycles != res.WorkCycles ||
+		bare.Steals != res.Steals || bare.Attempts != res.Attempts {
+		t.Errorf("result drift with sinks attached:\n  with: %+v\n  bare: %+v", res, bare)
+	}
+}
+
+// TestContentionNilIsDisabled proves the nil-sink path stays alive.
+func TestContentionNilIsDisabled(t *testing.T) {
+	var c *Contention
+	if s := c.Snapshot(); s != (ContentionSnapshot{}) {
+		t.Fatalf("nil snapshot = %+v, want zero", s)
+	}
+}

@@ -72,10 +72,14 @@ func (s *scheduler) loopParallel() error {
 	if testHookSpecStats != nil {
 		defer func() { testHookSpecStats(commits, reruns) }()
 	}
+	cont := s.cfg.Contention
 	// With one host slot there is nothing to overlap; with instruction
 	// tracing on, Speculate refuses anyway (trace order must match the
 	// oracle). Fall back to pure direct execution.
 	serialOnly := procs < 2 || s.m.Opts.Trace != nil
+	if serialOnly && cont != nil {
+		cont.SerialFallbacks.Add(1)
+	}
 
 	n := len(s.m.Workers)
 	specs := make([]*machine.SpecResult, n)
@@ -87,6 +91,9 @@ func (s *scheduler) loopParallel() error {
 	hook := func(a int64) { writes[a] = struct{}{} }
 
 	discardAll := func() {
+		if cont != nil && outstanding > 0 {
+			cont.SpecDiscards.Add(int64(outstanding))
+		}
 		for i := range specs {
 			specs[i] = nil
 		}
@@ -133,6 +140,10 @@ func (s *scheduler) loopParallel() error {
 			}
 		}
 		if outstanding > 0 {
+			if cont != nil {
+				cont.SpecEpochs.Add(1)
+				cont.SpecLaunched.Add(int64(outstanding))
+			}
 			s.m.SetStoreHook(hook)
 		}
 	}
@@ -208,13 +219,22 @@ func (s *scheduler) loopParallel() error {
 				w.CommitSpec(r)
 				ev = r.Ev
 				commits++
+				if cont != nil {
+					cont.SpecCommits.Add(1)
+				}
 			} else {
 				ev = w.Run(s.cfg.Quantum)
 				reruns++
+				if cont != nil {
+					cont.SpecReruns.Add(1)
+				}
 			}
 		} else {
 			ev = w.Run(s.cfg.Quantum)
 			reruns++
+			if cont != nil && !serialOnly {
+				cont.SpecReruns.Add(1)
+			}
 		}
 		done, err := s.handleEvent(i, ev)
 		if outstanding == 0 {

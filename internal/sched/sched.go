@@ -152,6 +152,16 @@ type Config struct {
 	// *invariant.Violation. Auditing charges no cycles: the run's bytes
 	// are identical with or without it.
 	Audit *invariant.Auditor
+	// Progress, when non-nil, receives a live host-visible view of the
+	// run's advancement (total work cycles, picks), stored at every pick
+	// boundary. It is read concurrently by serving-side introspection
+	// (/debug/jobs) and never influences the run: stores only, and a nil
+	// pointer disables them entirely.
+	Progress *obs.Progress
+	// Contention, when non-nil, receives host-side engine contention
+	// counts (speculation commits/reruns/discards). Host-timing-dependent
+	// — never part of any deterministic artifact.
+	Contention *Contention
 }
 
 // Result summarizes one parallel run.
@@ -293,12 +303,16 @@ func (s *scheduler) checkAbort(w *machine.Worker) error {
 	if w.Cycles > s.cfg.MaxCycles {
 		return fmt.Errorf("sched: exceeded MaxCycles=%d", s.cfg.MaxCycles)
 	}
-	if b := s.cfg.MaxWorkCycles; b > 0 {
+	if s.cfg.MaxWorkCycles > 0 || s.cfg.Progress != nil {
 		var work int64
 		for _, ww := range s.m.Workers {
 			work += ww.Cycles
 		}
-		if work > b {
+		if p := s.cfg.Progress; p != nil {
+			p.WorkCycles.Store(work)
+			p.Picks.Add(1)
+		}
+		if b := s.cfg.MaxWorkCycles; b > 0 && work > b {
 			return &CycleBudgetError{Budget: b, Used: work}
 		}
 	}

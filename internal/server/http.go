@@ -6,7 +6,14 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"repro/internal/obs"
 )
+
+// TraceHeader carries the request-scoped trace id end to end: clients send
+// it on POST /jobs, the server echoes it (minting an id when absent) and
+// tags every span and log line with it.
+const TraceHeader = "X-Trace-Id"
 
 // retryAfterSeconds rounds a backoff up to whole seconds (the Retry-After
 // header's granularity), with a floor of 1.
@@ -23,6 +30,7 @@ func retryAfterSeconds(d time.Duration) int {
 // never part of any determinism contract.
 type JobView struct {
 	ID       string `json:"id"`
+	TraceID  string `json:"trace_id,omitempty"`
 	State    string `json:"state"`
 	App      string `json:"app"`
 	Key      string `json:"key"`
@@ -38,6 +46,11 @@ type JobView struct {
 
 	QueueWaitUs int64 `json:"queue_wait_us,omitempty"`
 	RunUs       int64 `json:"run_us,omitempty"`
+
+	// HostSpans are the job's wall-clock serving spans (enqueue wait, cache
+	// probe, execution). Host-side observability only — like the *_us
+	// timings, never part of any determinism contract.
+	HostSpans []obs.HostSpan `json:"host_spans,omitempty"`
 }
 
 // coreResultView mirrors core.Result with stable JSON field names (the
@@ -60,6 +73,7 @@ func (s *Server) view(j *Job) JobView {
 	defer s.mu.Unlock()
 	v := JobView{
 		ID:       j.ID,
+		TraceID:  j.traceID,
 		State:    j.state,
 		App:      j.Req.App,
 		Key:      j.Req.Key(),
@@ -67,6 +81,9 @@ func (s *Server) view(j *Job) JobView {
 		Cache:    j.cacheUse,
 		Error:    j.errMsg,
 		Failure:  j.failure,
+	}
+	if len(j.hostSpans) > 0 {
+		v.HostSpans = append([]obs.HostSpan(nil), j.hostSpans...)
 	}
 	if !j.started.IsZero() {
 		v.QueueWaitUs = j.started.Sub(j.submitted).Microseconds()
@@ -95,10 +112,16 @@ func (s *Server) view(j *Job) JobView {
 
 // Handler returns the service's HTTP API:
 //
-//	POST   /jobs        submit a JobRequest ("wait":true blocks until done)
+//	POST   /jobs        submit a JobRequest ("wait":true blocks until done);
+//	                    an X-Trace-Id header joins the job to the client's
+//	                    trace (minted server-side when absent) and is echoed
+//	                    on every response for the job
 //	GET    /jobs/{id}   job status (?wait=1 blocks until terminal)
 //	DELETE /jobs/{id}   cancel a queued or running job
-//	GET    /metrics     server metrics registry snapshot (JSON)
+//	GET    /metrics     server metrics registry snapshot (JSON by default;
+//	                    ?format=prom for Prometheus text exposition)
+//	GET    /debug/jobs  live serving state: in-flight jobs with phase and
+//	                    progress, queue depth, breaker, contention
 //	GET    /healthz     liveness + draining flag
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -106,8 +129,15 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/jobs", s.handleDebugJobs)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux
+}
+
+// noStore marks a response as point-in-time: metrics, health and debug
+// snapshots must never be served from an HTTP cache.
+func noStore(w http.ResponseWriter) {
+	w.Header().Set("Cache-Control", "no-store")
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -131,7 +161,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errView{Error: "bad request body: " + err.Error()})
 		return
 	}
-	j, err := s.Submit(req)
+	j, err := s.SubmitTrace(req, r.Header.Get(TraceHeader))
 	var shed *ShedError
 	switch {
 	case errors.As(err, &shed):
@@ -152,6 +182,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errView{Error: err.Error()})
 		return
 	}
+	w.Header().Set(TraceHeader, j.TraceID())
 	if req.Wait {
 		select {
 		case <-j.Done():
@@ -173,6 +204,7 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, errView{Error: err.Error()})
 		return
 	}
+	w.Header().Set(TraceHeader, j.TraceID())
 	if r.URL.Query().Get("wait") != "" {
 		select {
 		case <-j.Done():
@@ -189,10 +221,21 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, errView{Error: err.Error()})
 		return
 	}
+	w.Header().Set(TraceHeader, j.TraceID())
 	writeJSON(w, http.StatusOK, s.view(j))
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.syncObsMetrics()
+	noStore(w)
+	if r.URL.Query().Get("format") == "prom" {
+		// Prometheus text exposition, version 0.0.4.
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := s.met.WritePrometheus(w, "st"); err != nil {
+			writeJSON(w, http.StatusInternalServerError, errView{Error: err.Error()})
+		}
+		return
+	}
 	b, err := s.met.MarshalJSON()
 	if err != nil {
 		writeJSON(w, http.StatusInternalServerError, errView{Error: err.Error()})
@@ -202,6 +245,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	_, _ = w.Write(append(b, '\n'))
 }
 
+func (s *Server) handleDebugJobs(w http.ResponseWriter, _ *http.Request) {
+	noStore(w)
+	writeJSON(w, http.StatusOK, s.DebugSnapshot())
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	noStore(w)
 	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "draining": s.Draining()})
 }

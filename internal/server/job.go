@@ -14,6 +14,7 @@ import (
 	"repro/internal/invariant"
 	"repro/internal/isa"
 	"repro/internal/obs"
+	"repro/internal/sched"
 )
 
 // JobRequest is the wire form of one simulation job. The canonical-tuple
@@ -141,6 +142,19 @@ type JobOutput struct {
 	Trace   json.RawMessage
 }
 
+// ExecOpts carries host-side observability sinks into an execution. Both
+// fields are live-introspection plumbing: attaching them never changes a
+// run's bytes (the determinism tests prove it), and their contents are
+// host-timing-dependent, so they never enter a JobOutput.
+type ExecOpts struct {
+	// Progress, when non-nil, receives the run's live advancement (work
+	// cycles, picks) at scheduler pick boundaries.
+	Progress *obs.Progress
+	// Contention, when non-nil, accumulates parallel-engine speculation
+	// counters (epochs, commits, reruns, discards).
+	Contention *sched.Contention
+}
+
 // Execute runs one job to completion on the calling goroutine. It is a pure
 // function of the request's canonical tuple: ctx and the engine choice
 // decide whether it finishes, never the bytes it produces. Every run
@@ -149,6 +163,11 @@ type JobOutput struct {
 // the schedule); the audit cadence is not (a violation fails the job, a
 // clean audit changes nothing).
 func Execute(ctx context.Context, req JobRequest) (*JobOutput, error) {
+	return ExecuteOpts(ctx, req, ExecOpts{})
+}
+
+// ExecuteOpts is Execute with host-side observability sinks attached.
+func ExecuteOpts(ctx context.Context, req JobRequest, opts ExecOpts) (*JobOutput, error) {
 	w, err := req.workload()
 	if err != nil {
 		return nil, err
@@ -189,6 +208,8 @@ func Execute(ctx context.Context, req JobRequest) (*JobOutput, error) {
 		Obs:           col,
 		Fault:         fault.New(plan),
 		Audit:         aud,
+		Progress:      opts.Progress,
+		Contention:    opts.Contention,
 	})
 	if err != nil {
 		return nil, err
@@ -227,12 +248,26 @@ type Job struct {
 
 	seq uint64 // admission order; the FIFO tiebreak within a priority class
 
+	// traceID joins this job to the client's end-to-end trace. Minted at
+	// admission when the client sent none; immutable afterwards.
+	traceID string
+
+	// progress is the live advancement view the executor writes and
+	// /debug/jobs reads; allocated at dispatch, atomics inside.
+	progress *obs.Progress
+
 	// Guarded by the server mutex.
 	state    string
+	phase    string // live serving phase: queued | cache-probe | execute | finished
 	errMsg   string
 	failure  string // taxonomy class once failed (Fail* constants)
 	cacheUse string // "hit", "miss" or "bypass" once decided
 	out      *JobOutput
+
+	// hostSpans are this job's wall-clock serving spans (enqueue wait,
+	// cache probe, execution). Host-side observability only — never part
+	// of any deterministic artifact. Guarded by the server mutex.
+	hostSpans []obs.HostSpan
 
 	// Host-side timestamps (observability only — never part of any
 	// deterministic artifact).
@@ -256,3 +291,7 @@ func terminal(state string) bool {
 
 // Done exposes the completion channel (closed at the terminal transition).
 func (j *Job) Done() <-chan struct{} { return j.done }
+
+// TraceID returns the job's end-to-end trace id (immutable after
+// admission, so no lock is needed).
+func (j *Job) TraceID() string { return j.traceID }

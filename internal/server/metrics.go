@@ -1,6 +1,7 @@
 package server
 
 import (
+	"io"
 	"sync"
 
 	"repro/internal/obs"
@@ -54,4 +55,17 @@ func (m *serverMetrics) MarshalJSON() ([]byte, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.reg.MarshalJSON()
+}
+
+// Snapshot captures a locked point-in-time copy of the registry.
+func (m *serverMetrics) Snapshot() obs.Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.reg.Snapshot()
+}
+
+// WritePrometheus renders a locked snapshot in the Prometheus text
+// exposition format under the given name prefix.
+func (m *serverMetrics) WritePrometheus(w io.Writer, prefix string) error {
+	return obs.WritePrometheus(w, m.Snapshot(), prefix)
 }

@@ -31,12 +31,16 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
+	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/fault"
 	"repro/internal/hostpar"
 	"repro/internal/invariant"
+	"repro/internal/obs"
+	"repro/internal/sched"
 )
 
 // Admission errors.
@@ -105,6 +109,15 @@ type Config struct {
 	// BreakerCooldown is how long the breaker sheds before admitting a
 	// half-open probe (default 2s).
 	BreakerCooldown time.Duration
+	// HostSpans, when non-nil, receives every serving-path wall-clock span
+	// (enqueue wait, cache probe, execution, drain) in a bounded ring, for
+	// the two-clock trace export. Per-job spans are always kept on the job
+	// regardless; the recorder is the server-wide view.
+	HostSpans *obs.HostRecorder
+	// Log, when non-nil, receives structured serving-path events (job
+	// lifecycle, drain, breaker trips), each tagged with the job's
+	// trace_id. Nil disables logging.
+	Log *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -136,6 +149,9 @@ type Server struct {
 	cache   *resultCache
 	met     *serverMetrics
 	breaker *breaker
+	host    *obs.HostRecorder // nil-safe: nil when Config.HostSpans is nil
+	cont    *sched.Contention // server-wide engine contention counters
+	log     *slog.Logger      // nil disables
 
 	mu        sync.Mutex
 	drainCond *sync.Cond
@@ -159,6 +175,9 @@ func New(cfg Config) *Server {
 		cache:        newResultCache(cfg.CacheEntries),
 		met:          newServerMetrics(),
 		breaker:      newBreaker(cfg.BreakerWindow, cfg.BreakerThreshold, cfg.BreakerCooldown),
+		host:         cfg.HostSpans,
+		cont:         &sched.Contention{},
+		log:          cfg.Log,
 		jobs:         make(map[string]*Job),
 		attempts:     make(map[string]int),
 		dispatchDone: make(chan struct{}),
@@ -189,11 +208,42 @@ func (s *Server) dispatch() {
 // begun, ErrQueueFull when the admission queue is at its bound, and a
 // *ShedError while the breaker sheds load.
 func (s *Server) Submit(req JobRequest) (*Job, error) {
+	return s.SubmitTrace(req, "")
+}
+
+// validTraceID bounds what the server accepts as a client-minted trace id:
+// non-empty, at most 64 bytes, drawn from [A-Za-z0-9._-]. Anything else is
+// treated as absent and a server id is minted instead (the id lands in log
+// lines, trace files and headers, so it must stay inert).
+func validTraceID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// SubmitTrace is Submit with an explicit trace id (normally the client's
+// X-Trace-Id header). When the id is empty or malformed the server mints
+// one ("t-<n>") so every admitted job is traceable end to end.
+func (s *Server) SubmitTrace(req JobRequest, traceID string) (*Job, error) {
 	if err := (&req).normalize(); err != nil {
 		return nil, err
 	}
+	if !validTraceID(traceID) {
+		traceID = ""
+	}
 	if ok, retry := s.breaker.Allow(); !ok {
 		s.met.Add("jobs_shed", 1)
+		s.logEvent("job shed", "trace_id", traceID, "retry_after", retry.String())
 		return nil, &ShedError{RetryAfter: retry}
 	}
 	if max := s.cfg.MaxWorkCycles; max > 0 && (req.MaxWorkCycles <= 0 || req.MaxWorkCycles > max) {
@@ -208,10 +258,15 @@ func (s *Server) Submit(req JobRequest) (*Job, error) {
 		return nil, ErrDraining
 	}
 	s.nextID++
+	if traceID == "" {
+		traceID = fmt.Sprintf("t-%d", s.nextID)
+	}
 	j := &Job{
 		ID:        fmt.Sprintf("j-%d", s.nextID),
 		Req:       req,
+		traceID:   traceID,
 		state:     StateQueued,
+		phase:     "queued",
 		submitted: time.Now(),
 		ctx:       ctx,
 		cancel:    cancel,
@@ -221,6 +276,7 @@ func (s *Server) Submit(req JobRequest) (*Job, error) {
 		s.mu.Unlock()
 		cancel()
 		s.met.Add("jobs_rejected_queue_full", 1)
+		s.logEvent("job rejected, queue full", "trace_id", traceID, "app", req.App)
 		return nil, ErrQueueFull
 	}
 	s.jobs[j.ID] = j
@@ -228,7 +284,33 @@ func (s *Server) Submit(req JobRequest) (*Job, error) {
 	s.mu.Unlock()
 	s.met.Add("jobs_accepted", 1)
 	s.met.Set("queue_depth", int64(s.queue.Len()))
+	s.logEvent("job accepted", "trace_id", traceID, "job", j.ID, "app", req.App, "key", req.Key())
 	return j, nil
+}
+
+// logEvent emits one structured log record; a nil logger disables logging.
+func (s *Server) logEvent(msg string, args ...any) {
+	if s.log != nil {
+		s.log.Info(msg, args...)
+	}
+}
+
+// span records one wall-clock serving span: always on the job (so /jobs/{id}
+// and the two-clock export see it even after ring eviction), and mirrored
+// into the server-wide recorder when one is configured.
+func (s *Server) span(j *Job, name string, start, end time.Time, args ...obs.Arg) {
+	sp := obs.HostSpan{
+		TraceID: j.traceID,
+		Job:     j.ID,
+		Name:    name,
+		Start:   start.UnixMicro(),
+		Dur:     end.Sub(start).Microseconds(),
+		Args:    args,
+	}
+	s.mu.Lock()
+	j.hostSpans = append(j.hostSpans, sp)
+	s.mu.Unlock()
+	s.host.Record(sp)
 }
 
 // Job looks a job up by id.
@@ -271,11 +353,14 @@ func (s *Server) runJob(j *Job) {
 		return
 	}
 	j.state = StateRunning
+	j.phase = "cache-probe"
 	j.started = time.Now()
+	j.progress = &obs.Progress{}
 	s.running++
 	s.met.Set("jobs_running", int64(s.running))
 	s.mu.Unlock()
 	s.met.Observe("queue_wait_us", j.started.Sub(j.submitted).Microseconds())
+	s.span(j, "enqueue-wait", j.submitted, j.started)
 
 	ctx := j.ctx
 	timeout := time.Duration(j.Req.TimeoutMs) * time.Millisecond
@@ -291,7 +376,10 @@ func (s *Server) runJob(j *Job) {
 	key := j.Req.Key()
 	cacheUse := "bypass"
 	if !j.Req.NoCache {
-		if out, ok := s.cache.Get(key); ok {
+		probe0 := time.Now()
+		out, ok := s.cache.Get(key)
+		s.span(j, "cache-probe", probe0, time.Now(), obs.Arg{K: "hit", V: b2i(ok)})
+		if ok {
 			s.met.Add("cache_hits", 1)
 			s.finishJob(j, out, nil, "hit")
 			return
@@ -301,6 +389,9 @@ func (s *Server) runJob(j *Job) {
 	} else {
 		s.met.Add("cache_bypass", 1)
 	}
+	s.mu.Lock()
+	j.phase = "execute"
+	s.mu.Unlock()
 
 	s.mu.Lock()
 	s.attempts[key]++
@@ -335,7 +426,7 @@ func (s *Server) runJob(j *Job) {
 		if s.cfg.Fault.ExecPanic(key, attempt) {
 			panic(&fault.Error{Site: "exec-panic"})
 		}
-		out, err := Execute(ctx, j.Req)
+		out, err := ExecuteOpts(ctx, j.Req, ExecOpts{Progress: j.progress, Contention: s.cont})
 		resc <- execResult{out: out, err: err}
 	}()
 
@@ -348,6 +439,9 @@ func (s *Server) runJob(j *Job) {
 	select {
 	case r := <-resc:
 		s.met.Observe("job_run_host_us", time.Since(t0).Microseconds())
+		s.span(j, "execute", t0, time.Now(),
+			obs.Arg{K: "work_cycles", V: j.progress.WorkCycles.Load()},
+			obs.Arg{K: "picks", V: j.progress.Picks.Load()})
 		if r.pan != nil {
 			// Re-raise on the slot: the supervisor isolates the job and
 			// restarts the slot (see executor.run).
@@ -365,9 +459,21 @@ func (s *Server) runJob(j *Job) {
 		// cooperative run unwinds, but do not wait for it: the slot is
 		// released now and the child's late result is dropped.
 		s.met.Add("watchdog_trips", 1)
+		now := time.Now()
+		s.span(j, "execute", t0, now, obs.Arg{K: "watchdog_trip", V: 1})
+		s.host.Instant(j.traceID, j.ID, "watchdog-trip", now)
+		s.logEvent("watchdog trip", "trace_id", j.traceID, "job", j.ID, "bound", s.cfg.Watchdog.String())
 		j.cancel()
 		s.finishJob(j, nil, ErrWatchdog, cacheUse)
 	}
+}
+
+// b2i is the span-arg form of a bool.
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // slotPanicked is the executor supervisor's callback: terminate the job
@@ -378,6 +484,7 @@ func (s *Server) slotPanicked(j *Job, r any) {
 	if j == nil {
 		return
 	}
+	s.logEvent("executor panic, slot restarted", "trace_id", j.traceID, "job", j.ID)
 	s.finishJob(j, nil, &panicError{v: r}, "")
 }
 
@@ -447,10 +554,14 @@ func (s *Server) finishLocked(j *Job, out *JobOutput, err error, cacheUse string
 		s.breaker.Record(false)
 	}
 	j.cacheUse = cacheUse
+	j.phase = "finished"
 	j.finished = time.Now()
 	s.pending--
 	close(j.done)
 	s.drainCond.Broadcast()
+	s.logEvent("job finished", "trace_id", j.traceID, "job", j.ID,
+		"state", j.state, "failure", j.failure, "cache", j.cacheUse,
+		"run_us", j.finished.Sub(j.submitted).Microseconds())
 }
 
 // Draining reports whether Drain has begun.
@@ -466,8 +577,10 @@ func (s *Server) Draining() bool {
 // and is idempotent. The HTTP listener should be shut down after Drain so
 // in-flight waiters get their responses.
 func (s *Server) Drain() {
+	t0 := time.Now()
 	s.mu.Lock()
 	first := !s.draining
+	backlog := s.pending
 	if first {
 		s.draining = true
 		s.met.Set("draining", 1)
@@ -482,12 +595,118 @@ func (s *Server) Drain() {
 	<-s.dispatchDone
 	if first {
 		s.exec.close()
+		s.host.Span("", "", "drain", t0, time.Now(), obs.Arg{K: "backlog", V: int64(backlog)})
+		s.logEvent("drained", "backlog", backlog, "drain_us", time.Since(t0).Microseconds())
 	}
 }
 
 // Metrics exposes the server's metrics registry wrapper (counters, gauges
 // and histograms; snapshot via MarshalJSON).
 func (s *Server) Metrics() *serverMetrics { return s.met }
+
+// HostSpans exposes the server-wide wall-clock span recorder (nil when the
+// server was configured without one).
+func (s *Server) HostSpans() *obs.HostRecorder { return s.host }
+
+// syncObsMetrics folds the pull-style host counters — engine contention and
+// span-ring overwrites — into the metrics registry as gauges, so one scrape
+// (JSON or Prometheus) sees them alongside the push-style serving counters.
+// Called on each metrics/debug read; the sources are atomics, so this is a
+// cheap point-in-time copy.
+func (s *Server) syncObsMetrics() {
+	cs := s.cont.Snapshot()
+	s.met.Set("spec_epochs", cs.SpecEpochs)
+	s.met.Set("spec_launched", cs.SpecLaunched)
+	s.met.Set("spec_commits", cs.SpecCommits)
+	s.met.Set("spec_reruns", cs.SpecReruns)
+	s.met.Set("spec_discards", cs.SpecDiscards)
+	s.met.Set("spec_serial_fallbacks", cs.SerialFallbacks)
+	if s.host != nil {
+		s.met.Set("host_spans_dropped", s.host.Overwritten())
+	}
+}
+
+// DebugJobView is one live (non-terminal) job in the debug snapshot.
+type DebugJobView struct {
+	ID       string `json:"id"`
+	TraceID  string `json:"trace_id"`
+	App      string `json:"app"`
+	State    string `json:"state"`
+	Phase    string `json:"phase"`
+	Priority int    `json:"priority,omitempty"`
+	Cache    string `json:"cache,omitempty"`
+	// AgeUs is host time since admission.
+	AgeUs int64 `json:"age_us"`
+	// WorkCycles and Picks are the run's live progress (virtual work cycles
+	// burned, scheduler picks serviced); zero until execution starts.
+	WorkCycles int64 `json:"work_cycles,omitempty"`
+	Picks      int64 `json:"picks,omitempty"`
+}
+
+// DebugView is the live-introspection snapshot behind GET /debug/jobs:
+// where every in-flight job is right now, plus the serving control state
+// (queue, breaker, drain, contention). Everything here is host-side
+// observability; nothing is deterministic.
+type DebugView struct {
+	Draining         bool                     `json:"draining"`
+	QueueDepth       int                      `json:"queue_depth"`
+	Running          int                      `json:"running"`
+	Pending          int                      `json:"pending"`
+	Breaker          string                   `json:"breaker"` // disabled | closed | open | half-open
+	Contention       sched.ContentionSnapshot `json:"contention"`
+	HostSpansDropped int64                    `json:"host_spans_dropped,omitempty"`
+	Jobs             []DebugJobView           `json:"jobs"`
+}
+
+// DebugSnapshot captures the live serving state: every non-terminal job with
+// its current phase and progress, queue depth, breaker state, and the
+// engine-contention counters.
+func (s *Server) DebugSnapshot() DebugView {
+	s.syncObsMetrics()
+	now := time.Now()
+	v := DebugView{
+		Breaker:    s.breaker.State(),
+		QueueDepth: s.queue.Len(),
+		Contention: s.cont.Snapshot(),
+	}
+	if s.host != nil {
+		v.HostSpansDropped = s.host.Overwritten()
+	}
+	s.mu.Lock()
+	v.Draining = s.draining
+	v.Running = s.running
+	v.Pending = s.pending
+	for _, j := range s.jobs {
+		if terminal(j.state) {
+			continue
+		}
+		dj := DebugJobView{
+			ID:       j.ID,
+			TraceID:  j.traceID,
+			App:      j.Req.App,
+			State:    j.state,
+			Phase:    j.phase,
+			Priority: j.Req.Priority,
+			Cache:    j.cacheUse,
+			AgeUs:    now.Sub(j.submitted).Microseconds(),
+		}
+		if p := j.progress; p != nil {
+			dj.WorkCycles = p.WorkCycles.Load()
+			dj.Picks = p.Picks.Load()
+		}
+		v.Jobs = append(v.Jobs, dj)
+	}
+	s.mu.Unlock()
+	// Admission order (ids are "j-<n>"; compare by length then bytes).
+	sort.Slice(v.Jobs, func(a, b int) bool {
+		x, y := v.Jobs[a].ID, v.Jobs[b].ID
+		if len(x) != len(y) {
+			return len(x) < len(y)
+		}
+		return x < y
+	})
+	return v
+}
 
 // Stats summarizes the lifetime counters (used by the drain banner).
 type Stats struct {
