@@ -9,6 +9,12 @@
 //
 //	benchjson -check -baseline BENCH_BASELINE.json -pr BENCH_PR.json
 //
+// Gate against an absolute floor (for benefit metrics, where the tolerance
+// check's bigger-is-worse convention is backwards):
+//
+//	benchjson -check -pr BENCH_PR.json \
+//	    -floor 'BenchmarkEngineSpeedup/throughput:host-speedup:1.8'
+//
 // Only deterministic virtual-time metrics are gated by default: figures like
 // st-rel-avg or st/cilk are pure functions of the simulated configuration
 // and reproduce exactly on any host, so a >tolerance change is a real
@@ -172,6 +178,50 @@ func check(base, pr *Doc, tolerance float64, gateHost bool, only map[string]bool
 	return bad, skipped
 }
 
+// floorSpec is one `-floor benchmark:unit:min` requirement: the PR value of
+// the metric must be at least min. Floors gate benefit metrics (speedups),
+// where the tolerance check's larger-is-worse convention points the wrong
+// way, and need no baseline entry at all.
+type floorSpec struct {
+	name string
+	unit string
+	min  float64
+}
+
+func parseFloors(specs string) ([]floorSpec, error) {
+	var floors []floorSpec
+	for _, s := range strings.Split(specs, ",") {
+		if s = strings.TrimSpace(s); s == "" {
+			continue
+		}
+		parts := strings.Split(s, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("bad -floor %q (want benchmark:unit:min)", s)
+		}
+		min, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -floor minimum %q: %v", parts[2], err)
+		}
+		floors = append(floors, floorSpec{name: parts[0], unit: parts[1], min: min})
+	}
+	return floors, nil
+}
+
+// checkFloors returns a failure line per floor the PR results miss.
+func checkFloors(pr *Doc, floors []floorSpec) (bad []string) {
+	for _, f := range floors {
+		got, ok := pr.Benchmarks[f.name][f.unit]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s %s: missing from PR results (floor %g)", f.name, f.unit, f.min))
+			continue
+		}
+		if got < f.min {
+			bad = append(bad, fmt.Sprintf("%s %s: %.4g below floor %g", f.name, f.unit, got, f.min))
+		}
+	}
+	return bad
+}
+
 func main() {
 	var (
 		in        = flag.String("in", "", "benchmark output to convert (default stdin)")
@@ -182,6 +232,7 @@ func main() {
 		tolerance = flag.Float64("tolerance", 0.10, "allowed relative regression for gated metrics")
 		gateHost  = flag.Bool("gate-host", false, "also gate host-dependent metrics (ns/op, vcycles/s, ...)")
 		only      = flag.String("only", "", "comma-separated metric units: gate exactly these, replacing the default set")
+		floor     = flag.String("floor", "", "comma-separated benchmark:unit:min specs: fail if the PR value is below min")
 	)
 	flag.Parse()
 
@@ -199,27 +250,42 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(2)
 	}
-	if *doCheck {
-		base, err := load(*baseline)
-		if err != nil {
-			fail(err)
-		}
+	floors, err := parseFloors(*floor)
+	if err != nil {
+		fail(err)
+	}
+	if *doCheck || len(floors) > 0 {
 		prDoc, err := load(*pr)
 		if err != nil {
 			fail(err)
 		}
-		bad, improved := check(base, prDoc, *tolerance, *gateHost, onlyUnits)
-		for _, line := range improved {
-			fmt.Println("note:", line)
+		var bad []string
+		if *doCheck {
+			base, err := load(*baseline)
+			if err != nil {
+				fail(err)
+			}
+			var improved []string
+			bad, improved = check(base, prDoc, *tolerance, *gateHost, onlyUnits)
+			if len(bad) == 0 {
+				fmt.Printf("benchjson: %d benchmarks within %.0f%% of baseline\n",
+					len(base.Benchmarks), 100**tolerance)
+			}
+			for _, line := range improved {
+				fmt.Println("note:", line)
+			}
 		}
+		floorBad := checkFloors(prDoc, floors)
+		if len(floorBad) == 0 && len(floors) > 0 {
+			fmt.Printf("benchjson: %d floor requirements met\n", len(floors))
+		}
+		bad = append(bad, floorBad...)
 		if len(bad) > 0 {
 			for _, line := range bad {
 				fmt.Println("REGRESSION:", line)
 			}
 			os.Exit(1)
 		}
-		fmt.Printf("benchjson: %d benchmarks within %.0f%% of baseline\n",
-			len(base.Benchmarks), 100**tolerance)
 		return
 	}
 

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseFloors(t *testing.T) {
+	floors, err := parseFloors("BenchmarkEngineSpeedup/throughput:host-speedup:1.8, A:b:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []floorSpec{
+		{"BenchmarkEngineSpeedup/throughput", "host-speedup", 1.8},
+		{"A", "b", 2},
+	}
+	if len(floors) != len(want) {
+		t.Fatalf("floors = %+v", floors)
+	}
+	for i := range want {
+		if floors[i] != want[i] {
+			t.Fatalf("floors[%d] = %+v, want %+v", i, floors[i], want[i])
+		}
+	}
+	for _, bad := range []string{"x", "a:b", "a:b:zero"} {
+		if _, err := parseFloors(bad); err == nil {
+			t.Errorf("parseFloors(%q) accepted", bad)
+		}
+	}
+	if floors, err := parseFloors(""); err != nil || len(floors) != 0 {
+		t.Fatalf("empty spec: %v, %v", floors, err)
+	}
+}
+
+func TestCheckFloors(t *testing.T) {
+	pr := &Doc{Benchmarks: map[string]map[string]float64{
+		"BenchmarkEngineSpeedup/throughput": {"host-speedup": 2.1, "host-cores": 4},
+	}}
+	ok := []floorSpec{{"BenchmarkEngineSpeedup/throughput", "host-speedup", 1.8}}
+	if bad := checkFloors(pr, ok); len(bad) != 0 {
+		t.Fatalf("floor met but reported: %v", bad)
+	}
+	low := []floorSpec{{"BenchmarkEngineSpeedup/throughput", "host-speedup", 2.5}}
+	bad := checkFloors(pr, low)
+	if len(bad) != 1 || !strings.Contains(bad[0], "below floor") {
+		t.Fatalf("missed floor not reported: %v", bad)
+	}
+	missing := []floorSpec{{"BenchmarkNope", "host-speedup", 1}}
+	bad = checkFloors(pr, missing)
+	if len(bad) != 1 || !strings.Contains(bad[0], "missing") {
+		t.Fatalf("missing benchmark not reported: %v", bad)
+	}
+}

@@ -56,24 +56,29 @@ func (m Mode) String() string {
 	return fmt.Sprintf("mode(%d)", int(m))
 }
 
-// Engine selects the host execution strategy for the parallel modes. Both
-// engines produce byte-identical results (same Result, metrics, events) for
-// the same configuration and seed; the parallel engine just uses more host
-// cores to get there. See internal/sched/engine_parallel.go.
+// Engine selects the host execution strategy for the parallel modes. Every
+// engine produces byte-identical results (same Result, metrics, events) for
+// the same configuration and seed; the non-sequential engines just use more
+// host cores to get there. See internal/sched/engine_parallel.go and
+// internal/sched/engine_throughput.go.
 type Engine int
 
 // Host execution strategies.
 const (
-	// EngineDefault defers to the ST_ENGINE environment variable
-	// ("parallel" selects the parallel engine; anything else, including
-	// unset, selects sequential). CI uses it to force the parallel engine
-	// across an unmodified test suite.
+	// EngineDefault defers to the ST_ENGINE environment variable (any valid
+	// engine name; unset or empty selects sequential, anything else is an
+	// error). CI uses it to force an engine across an unmodified test
+	// suite.
 	EngineDefault Engine = iota
 	// EngineSequential steps workers one at a time on the calling
 	// goroutine — the reference engine and differential oracle.
 	EngineSequential
-	// EngineParallel speculates worker quanta across host cores.
+	// EngineParallel speculates worker quanta across host cores and
+	// replays them in the oracle's pick order.
 	EngineParallel
+	// EngineThroughput speculates multi-quantum chains per virtual worker
+	// over per-host-core work-stealing deques — the highest host speedup.
+	EngineThroughput
 )
 
 func (e Engine) String() string {
@@ -82,6 +87,8 @@ func (e Engine) String() string {
 		return "sequential"
 	case EngineParallel:
 		return "parallel"
+	case EngineThroughput:
+		return "throughput"
 	}
 	return "default"
 }
@@ -95,20 +102,32 @@ func ParseEngine(s string) (Engine, error) {
 		return EngineSequential, nil
 	case "par", "parallel":
 		return EngineParallel, nil
+	case "tp", "throughput":
+		return EngineThroughput, nil
 	}
-	return EngineDefault, fmt.Errorf("core: unknown engine %q (want sequential or parallel)", s)
+	return EngineDefault, fmt.Errorf("core: unknown engine %q (valid engines: sequential, parallel, throughput)", s)
 }
 
 // schedEngine resolves the configured engine to the scheduler's choice,
-// consulting the environment for EngineDefault.
-func (e Engine) schedEngine() sched.Engine {
-	if e == EngineDefault && os.Getenv("ST_ENGINE") == "parallel" {
-		e = EngineParallel
+// consulting the ST_ENGINE environment variable for EngineDefault. An
+// unknown ST_ENGINE value is an error naming the valid engines — a forced
+// engine that silently fell back to sequential would void whatever the
+// caller was trying to prove.
+func (e Engine) schedEngine() (sched.Engine, error) {
+	if e == EngineDefault {
+		env, err := ParseEngine(os.Getenv("ST_ENGINE"))
+		if err != nil {
+			return sched.EngineSequential, fmt.Errorf("ST_ENGINE: %w", err)
+		}
+		e = env
 	}
-	if e == EngineParallel {
-		return sched.EngineParallel
+	switch e {
+	case EngineParallel:
+		return sched.EngineParallel, nil
+	case EngineThroughput:
+		return sched.EngineThroughput, nil
 	}
-	return sched.EngineSequential
+	return sched.EngineSequential, nil
 }
 
 // hostProcs resolves the host-parallelism cap, consulting ST_HOSTPROCS when
@@ -129,11 +148,12 @@ type Config struct {
 	Mode    Mode
 	Workers int
 	// Engine selects the host execution strategy for the parallel modes
-	// (default: sequential, unless ST_ENGINE=parallel is set). Results are
-	// identical either way.
+	// (default: sequential, unless ST_ENGINE names another engine; an
+	// unrecognized ST_ENGINE value fails the run). Results are identical
+	// whichever engine runs.
 	Engine Engine
-	// HostProcs caps the host goroutines the parallel engine uses
-	// (default: ST_HOSTPROCS, then runtime.GOMAXPROCS(0)).
+	// HostProcs caps the host goroutines the parallel and throughput
+	// engines use (default: ST_HOSTPROCS, then runtime.GOMAXPROCS(0)).
 	HostProcs int
 	// CPU is the cost model (default isa.SPARC()).
 	CPU *isa.CostModel
@@ -258,6 +278,13 @@ func RunProgram(prog *isa.Program, w *apps.Workload, cfg Config) (*Result, error
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
 	}
+	// Resolve the engine up front, whatever the mode: a forced ST_ENGINE
+	// that silently fell back to sequential would void whatever the caller
+	// was trying to prove.
+	engine, err := cfg.Engine.schedEngine()
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	if cfg.CPU == nil {
 		cfg.CPU = isa.SPARC()
 	}
@@ -355,7 +382,7 @@ func RunProgram(prog *isa.Program, w *apps.Workload, cfg Config) (*Result, error
 			Obs:           cfg.Obs,
 			Fault:         cfg.Fault,
 			Audit:         cfg.Audit,
-			Engine:        cfg.Engine.schedEngine(),
+			Engine:        engine,
 			HostProcs:     hostProcs(cfg.HostProcs),
 			Progress:      cfg.Progress,
 			Contention:    cfg.Contention,

@@ -45,6 +45,16 @@ type specState struct {
 	// thunks lists restart-thunk pcs consumed by this quantum. The shared
 	// map is left untouched; commit performs the deletes.
 	thunks []int64
+	// view, when non-nil, replaces the overlay/read-log discipline with a
+	// chained speculation's page-granular private view (specview.go): loads
+	// and stores hit privatized pages and every store is logged in wlog.
+	view *pageView
+	// wlog records this quantum's stores in program order; the chain commit
+	// flushes exactly these words to shared memory.
+	wlog []memWrite
+	// prevThunks lists thunk pcs consumed by earlier segments of the same
+	// chain; they count as consumed for this quantum too.
+	prevThunks []int64
 	// events, samples and expObs buffer observability emissions that would
 	// otherwise mutate the shared Collector; commit replays them in order.
 	events  []specEvent
@@ -74,6 +84,11 @@ func (s *specState) consumed(pc int64) bool {
 			return true
 		}
 	}
+	for _, p := range s.prevThunks {
+		if p == pc {
+			return true
+		}
+	}
 	return false
 }
 
@@ -83,6 +98,9 @@ func (w *Worker) memLoad(a int64) int64 {
 	s := w.spec
 	if s == nil {
 		return w.M.Mem.Load(a)
+	}
+	if s.view != nil {
+		return s.view.load(a)
 	}
 	if len(s.overlay) != 0 {
 		if v, ok := s.overlay[a]; ok {
@@ -106,6 +124,11 @@ func (w *Worker) memStore(a, v int64) {
 			h(a)
 		}
 		w.M.Mem.Store(a, v)
+		return
+	}
+	if s.view != nil {
+		s.view.store(a, v)
+		s.wlog = append(s.wlog, memWrite{a, v})
 		return
 	}
 	if a < mem.Guard || a >= s.size {

@@ -33,6 +33,29 @@ type Contention struct {
 	// SerialFallbacks counts parallel-engine runs that degraded to pure
 	// direct execution (one host slot, or instruction tracing on).
 	SerialFallbacks atomic.Int64
+
+	// The remaining counters belong to the throughput engine
+	// (engine_throughput.go), which speculates multi-quantum chains and
+	// distributes them over per-host-worker deques.
+
+	// ChainEpochs counts bulk-synchronous launch phases; ChainsLaunched
+	// counts chains started across them and ChainSegments the speculated
+	// quanta those chains produced.
+	ChainEpochs    atomic.Int64
+	ChainsLaunched atomic.Int64
+	ChainSegments  atomic.Int64
+	// ChainCommits counts segments adopted at their oracle pick;
+	// ChainReruns counts picks re-executed directly (no live segment, or
+	// validation failed); ChainDiscards counts speculated segments thrown
+	// away by conflicts, Cilk steals, or run end.
+	ChainCommits  atomic.Int64
+	ChainReruns   atomic.Int64
+	ChainDiscards atomic.Int64
+	// HostSteals counts chain tasks a host worker took from another host
+	// worker's deque bottom (LTC order); HostStealAttempts counts probe
+	// rounds, successful or not.
+	HostSteals        atomic.Int64
+	HostStealAttempts atomic.Int64
 }
 
 // ContentionSnapshot is the JSON form of a Contention read.
@@ -43,6 +66,15 @@ type ContentionSnapshot struct {
 	SpecReruns      int64 `json:"spec_reruns"`
 	SpecDiscards    int64 `json:"spec_discards"`
 	SerialFallbacks int64 `json:"serial_fallbacks"`
+
+	ChainEpochs       int64 `json:"chain_epochs"`
+	ChainsLaunched    int64 `json:"chains_launched"`
+	ChainSegments     int64 `json:"chain_segments"`
+	ChainCommits      int64 `json:"chain_commits"`
+	ChainReruns       int64 `json:"chain_reruns"`
+	ChainDiscards     int64 `json:"chain_discards"`
+	HostSteals        int64 `json:"host_steals"`
+	HostStealAttempts int64 `json:"host_steal_attempts"`
 }
 
 // Snapshot reads the counters. The read is per-field atomic, not a
@@ -58,5 +90,14 @@ func (c *Contention) Snapshot() ContentionSnapshot {
 		SpecReruns:      c.SpecReruns.Load(),
 		SpecDiscards:    c.SpecDiscards.Load(),
 		SerialFallbacks: c.SerialFallbacks.Load(),
+
+		ChainEpochs:       c.ChainEpochs.Load(),
+		ChainsLaunched:    c.ChainsLaunched.Load(),
+		ChainSegments:     c.ChainSegments.Load(),
+		ChainCommits:      c.ChainCommits.Load(),
+		ChainReruns:       c.ChainReruns.Load(),
+		ChainDiscards:     c.ChainDiscards.Load(),
+		HostSteals:        c.HostSteals.Load(),
+		HostStealAttempts: c.HostStealAttempts.Load(),
 	}
 }

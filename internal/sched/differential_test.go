@@ -108,9 +108,29 @@ func obsDump(c *obs.Collector) []byte {
 	return b.Bytes()
 }
 
-// TestEngineDifferential is the differential oracle of the parallel engine:
-// for every workload × mode × worker count × seed, the parallel engine must
-// produce byte-identical Result, program output, sorted event log, and
+// diffCompare asserts a candidate engine's run is byte-identical to the
+// sequential oracle's in every observable dimension.
+func diffCompare(t *testing.T, ctx string, engine core.Engine, seq, got diffRun) {
+	t.Helper()
+	if !reflect.DeepEqual(seq.res, got.res) {
+		t.Fatalf("%s: %v Result diverged:\nseq: %+v\ngot: %+v", ctx, engine, seq.res, got.res)
+	}
+	if !reflect.DeepEqual(seq.events, got.events) {
+		t.Fatalf("%s: %v event log diverged (%d vs %d events)",
+			ctx, engine, len(seq.events), len(got.events))
+	}
+	if !bytes.Equal(seq.out, got.out) {
+		t.Fatalf("%s: %v program output diverged:\nseq: %q\ngot: %q", ctx, engine, seq.out, got.out)
+	}
+	if !bytes.Equal(seq.obs, got.obs) {
+		t.Fatalf("%s: %v obs snapshot diverged:\nseq:\n%s\ngot:\n%s", ctx, engine, seq.obs, got.obs)
+	}
+}
+
+// TestEngineDifferential is the equivalence matrix — the differential
+// oracle of every non-sequential engine: for every workload × mode ×
+// worker count × seed, the parallel and throughput engines must produce
+// byte-identical Result, program output, sorted event log, and
 // observability state (metrics, phase attribution, profile, trace) to the
 // sequential engine, with the invariant checker on.
 func TestEngineDifferential(t *testing.T) {
@@ -131,20 +151,10 @@ func TestEngineDifferential(t *testing.T) {
 							continue
 						}
 						seq := runEngine(t, mk, mode, workers, seed, core.EngineSequential)
-						par := runEngine(t, mk, mode, workers, seed, core.EngineParallel)
 						ctx := fmt.Sprintf("mode=%v workers=%d seed=%d", mode, workers, seed)
-						if !reflect.DeepEqual(seq.res, par.res) {
-							t.Fatalf("%s: Result diverged:\nseq: %+v\npar: %+v", ctx, seq.res, par.res)
-						}
-						if !reflect.DeepEqual(seq.events, par.events) {
-							t.Fatalf("%s: event log diverged (%d vs %d events)",
-								ctx, len(seq.events), len(par.events))
-						}
-						if !bytes.Equal(seq.out, par.out) {
-							t.Fatalf("%s: program output diverged:\nseq: %q\npar: %q", ctx, seq.out, par.out)
-						}
-						if !bytes.Equal(seq.obs, par.obs) {
-							t.Fatalf("%s: obs snapshot diverged:\nseq:\n%s\npar:\n%s", ctx, seq.obs, par.obs)
+						for _, engine := range []core.Engine{core.EngineParallel, core.EngineThroughput} {
+							got := runEngine(t, mk, mode, workers, seed, engine)
+							diffCompare(t, ctx, engine, seq, got)
 						}
 					}
 				}
@@ -153,20 +163,24 @@ func TestEngineDifferential(t *testing.T) {
 	}
 }
 
-// TestParallelEngineDeterminism reruns the parallel engine against itself:
-// host scheduling must never leak into results.
+// TestParallelEngineDeterminism reruns the non-sequential engines against
+// themselves: host scheduling must never leak into results.
 func TestParallelEngineDeterminism(t *testing.T) {
 	mk := func() *apps.Workload { return apps.NQueens(7, apps.ST) }
-	var first diffRun
-	for i := 0; i < 3; i++ {
-		r := runEngine(t, mk, core.StackThreads, 6, 9, core.EngineParallel)
-		if i == 0 {
-			first = r
-			continue
-		}
-		if !reflect.DeepEqual(first.res, r.res) || !reflect.DeepEqual(first.events, r.events) ||
-			!bytes.Equal(first.obs, r.obs) {
-			t.Fatalf("parallel engine run %d diverged from run 0", i)
-		}
+	for _, engine := range []core.Engine{core.EngineParallel, core.EngineThroughput} {
+		t.Run(engine.String(), func(t *testing.T) {
+			var first diffRun
+			for i := 0; i < 3; i++ {
+				r := runEngine(t, mk, core.StackThreads, 6, 9, engine)
+				if i == 0 {
+					first = r
+					continue
+				}
+				if !reflect.DeepEqual(first.res, r.res) || !reflect.DeepEqual(first.events, r.events) ||
+					!bytes.Equal(first.obs, r.obs) {
+					t.Fatalf("%v engine run %d diverged from run 0", engine, i)
+				}
+			}
+		})
 	}
 }

@@ -1,0 +1,109 @@
+package sched
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/mem"
+)
+
+// runThroughput drives a workload through the throughput engine directly
+// (white-box: core would hide the chain counters).
+func runThroughput(t *testing.T, w *apps.Workload, mode Mode, workers, procs int,
+	cont *Contention) (commits, reruns int64) {
+	t.Helper()
+	prog, err := w.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap := w.HeapWords
+	if heap == 0 {
+		heap = 1 << 20
+	}
+	m := machine.New(prog, mem.New(heap), isa.SPARC(), workers, machine.Options{
+		CilkCost: mode == ModeCilk,
+		Seed:     1,
+	})
+	args := w.Args
+	if w.Setup != nil {
+		if args, err = w.Setup(m.Mem); err != nil {
+			t.Fatal(err)
+		}
+	}
+	testHookChainStats = func(c, r int64) { commits, reruns = c, r }
+	defer func() { testHookChainStats = nil }()
+	if _, err := Run(m, w.Entry, args, Config{
+		Mode: mode, Seed: 1, Engine: EngineThroughput, HostProcs: procs, Contention: cont,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return commits, reruns
+}
+
+// TestThroughputEngineChains guards against the throughput engine silently
+// degrading into rerun-everything: on a steal-heavy multi-worker run the
+// bulk of the quanta must be adopted from speculated chain segments.
+func TestThroughputEngineChains(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	commits, reruns := runThroughput(t, apps.Fib(18, apps.ST), ModeST, 4, 4, nil)
+	if commits == 0 {
+		t.Fatalf("no chain segments committed (reruns=%d)", reruns)
+	}
+	if total := commits + reruns; commits*2 < total {
+		t.Errorf("commit rate too low: %d/%d", commits, total)
+	}
+	t.Logf("ST: commits=%d reruns=%d", commits, reruns)
+
+	commits, reruns = runThroughput(t, apps.Fib(18, apps.ST), ModeCilk, 4, 4, nil)
+	if commits == 0 {
+		t.Fatalf("cilk: no chain segments committed (reruns=%d)", reruns)
+	}
+	t.Logf("Cilk: commits=%d reruns=%d", commits, reruns)
+}
+
+// TestThroughputEngineSerialFallback checks the degenerate configurations
+// run through the direct path and still finish correctly.
+func TestThroughputEngineSerialFallback(t *testing.T) {
+	commits, _ := runThroughput(t, apps.Fib(14, apps.ST), ModeST, 3, 1, nil)
+	if commits != 0 {
+		t.Fatalf("HostProcs=1 must not speculate, got %d commits", commits)
+	}
+	if c, _ := runThroughput(t, apps.Fib(14, apps.ST), ModeST, 1, 8, nil); c != 0 {
+		t.Fatalf("single worker must not speculate, got %d commits", c)
+	}
+}
+
+// TestContentionThroughput runs the engine under real host concurrency
+// (GOMAXPROCS >= 4, more chains than host workers so the deques actually
+// contend) and cross-checks the Contention counters: every committed
+// segment was launched, every launched chain belongs to an epoch, and the
+// host deque traffic is visible. Under -race this doubles as the data-race
+// check on the deque and the launch-phase speculation.
+func TestContentionThroughput(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	var cont Contention
+	commits, reruns := runThroughput(t, apps.Fib(19, apps.ST), ModeST, 8, 4, &cont)
+	snap := cont.Snapshot()
+	if snap.ChainEpochs == 0 || snap.ChainsLaunched == 0 || snap.ChainSegments == 0 {
+		t.Fatalf("no chain activity recorded: %+v", snap)
+	}
+	if snap.ChainCommits != commits {
+		t.Fatalf("ChainCommits = %d, hook saw %d", snap.ChainCommits, commits)
+	}
+	if snap.ChainReruns != reruns {
+		t.Fatalf("ChainReruns = %d, hook saw %d", snap.ChainReruns, reruns)
+	}
+	if snap.ChainSegments < snap.ChainCommits+snap.ChainDiscards {
+		t.Fatalf("segment conservation violated: %+v", snap)
+	}
+	if snap.ChainsLaunched < snap.ChainEpochs {
+		t.Fatalf("fewer chains than epochs: %+v", snap)
+	}
+	if snap.SerialFallbacks != 0 {
+		t.Fatalf("unexpected serial fallback: %+v", snap)
+	}
+	t.Logf("throughput contention: %+v", snap)
+}

@@ -1,0 +1,65 @@
+package sched
+
+import "sync"
+
+// hostDeque is the per-host-worker work-stealing deque of the throughput
+// engine (engine_throughput.go): the owner pushes and pops at the top
+// (depth-first, newest work), thieves take from the bottom (the oldest
+// item) — the host-level mirror of the paper's §4.2 Lazy Task Creation
+// steal order. It is a mutex deque rather than a lock-free one: operations
+// move whole chains (hundreds of quanta of virtual work each), so the
+// critical section is a vanishing fraction of task runtime, and the mutex
+// keeps the memory model trivially correct under -race.
+type hostDeque[T any] struct {
+	mu sync.Mutex
+	// items[0] is the bottom (steal end), items[len-1] the top (owner end).
+	// The slice start moves forward on PopBottom; vacated slots are zeroed
+	// so the deque never retains pointers to departed items.
+	items []T
+}
+
+// PushTop adds t at the owner end.
+func (d *hostDeque[T]) PushTop(t T) {
+	d.mu.Lock()
+	d.items = append(d.items, t)
+	d.mu.Unlock()
+}
+
+// PopTop removes and returns the newest item (owner end).
+func (d *hostDeque[T]) PopTop() (T, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var zero T
+	n := len(d.items)
+	if n == 0 {
+		return zero, false
+	}
+	t := d.items[n-1]
+	d.items[n-1] = zero
+	d.items = d.items[:n-1]
+	return t, true
+}
+
+// PopBottom removes and returns the oldest item (steal end).
+func (d *hostDeque[T]) PopBottom() (T, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var zero T
+	if len(d.items) == 0 {
+		return zero, false
+	}
+	t := d.items[0]
+	d.items[0] = zero
+	d.items = d.items[1:]
+	if len(d.items) == 0 {
+		d.items = nil // release the drifted backing array
+	}
+	return t, true
+}
+
+// Len returns the current item count.
+func (d *hostDeque[T]) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.items)
+}

@@ -1,0 +1,156 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestHostDequeOrder checks the two ends: PopTop returns newest-first,
+// PopBottom oldest-first.
+func TestHostDequeOrder(t *testing.T) {
+	var d hostDeque[int]
+	for i := 1; i <= 4; i++ {
+		d.PushTop(i)
+	}
+	if v, ok := d.PopTop(); !ok || v != 4 {
+		t.Fatalf("PopTop = %d,%v, want 4", v, ok)
+	}
+	if v, ok := d.PopBottom(); !ok || v != 1 {
+		t.Fatalf("PopBottom = %d,%v, want 1", v, ok)
+	}
+	if v, ok := d.PopBottom(); !ok || v != 2 {
+		t.Fatalf("PopBottom = %d,%v, want 2", v, ok)
+	}
+	if v, ok := d.PopTop(); !ok || v != 3 {
+		t.Fatalf("PopTop = %d,%v, want 3", v, ok)
+	}
+	if _, ok := d.PopTop(); ok {
+		t.Fatal("PopTop on empty deque succeeded")
+	}
+	if _, ok := d.PopBottom(); ok {
+		t.Fatal("PopBottom on empty deque succeeded")
+	}
+}
+
+// TestHostDequeConcurrentStealing races owners against thieves under real
+// host concurrency (GOMAXPROCS >= 4; run with -race for the memory-model
+// half of the claim) and asserts conservation: every pushed item is popped
+// exactly once, none lost, none duplicated.
+func TestHostDequeConcurrentStealing(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	const (
+		deques  = 4
+		perDeq  = 2000
+		thieves = 4
+	)
+	var ds [deques]hostDeque[int]
+	seen := make([]atomic.Int32, deques*perDeq)
+	var popped atomic.Int64
+	var wg sync.WaitGroup
+
+	// Owners: push their range while popping from their own top.
+	for o := 0; o < deques; o++ {
+		wg.Add(1)
+		go func(o int) {
+			defer wg.Done()
+			for i := 0; i < perDeq; i++ {
+				ds[o].PushTop(o*perDeq + i)
+				if i%3 == 0 {
+					if v, ok := ds[o].PopTop(); ok {
+						seen[v].Add(1)
+						popped.Add(1)
+					}
+				}
+			}
+		}(o)
+	}
+	// Thieves: steal from every deque bottom until all items are accounted
+	// for.
+	for th := 0; th < thieves; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			for popped.Load() < deques*perDeq {
+				stole := false
+				for v := 0; v < deques; v++ {
+					if x, ok := ds[(th+v)%deques].PopBottom(); ok {
+						seen[x].Add(1)
+						popped.Add(1)
+						stole = true
+					}
+				}
+				if !stole {
+					runtime.Gosched()
+				}
+			}
+		}(th)
+	}
+	wg.Wait()
+
+	for i := range seen {
+		if n := seen[i].Load(); n != 1 {
+			t.Fatalf("item %d popped %d times", i, n)
+		}
+	}
+	for i := range ds {
+		if ds[i].Len() != 0 {
+			t.Fatalf("deque %d not drained: %d left", i, ds[i].Len())
+		}
+	}
+}
+
+// TestHostDequeReleasesSlots re-runs the PR 5 context-pointer-leak
+// regression against the host deque under concurrent stealing: popped slots
+// must not stay reachable through the backing array, whichever end they
+// left from.
+func TestHostDequeReleasesSlots(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	type item struct{ id int }
+	const n = 64
+	var d hostDeque[*item]
+	collected := make(chan int, n)
+	for i := 0; i < n; i++ {
+		it := &item{id: i}
+		id := it.id
+		runtime.SetFinalizer(it, func(*item) { collected <- id })
+		d.PushTop(it)
+	}
+	// Drain from both ends concurrently, dropping every popped pointer.
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for {
+				var ok bool
+				if g == 0 {
+					_, ok = d.PopTop()
+				} else {
+					_, ok = d.PopBottom()
+				}
+				if !ok {
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if d.Len() != 0 {
+		t.Fatalf("drained deque has Len %d", d.Len())
+	}
+
+	got := 0
+	deadline := time.After(5 * time.Second)
+	for got < n {
+		runtime.GC()
+		select {
+		case <-collected:
+			got++
+		case <-deadline:
+			t.Fatalf("only %d/%d popped items were collected; the deque still pins the rest", got, n)
+		}
+	}
+}

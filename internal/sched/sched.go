@@ -86,9 +86,9 @@ const (
 	StealYoungest
 )
 
-// Engine selects the host execution strategy. Both engines produce
+// Engine selects the host execution strategy. Every engine produces
 // byte-identical results for the same configuration and seed; see
-// engine_parallel.go for the argument.
+// engine_parallel.go and engine_throughput.go for the arguments.
 type Engine int
 
 // Host execution strategies.
@@ -99,11 +99,18 @@ const (
 	// EngineParallel speculates upcoming quanta on multiple host goroutines
 	// and commits them in the oracle's pick order.
 	EngineParallel
+	// EngineThroughput speculates multi-quantum chains per virtual worker,
+	// distributed over per-host-core work-stealing deques, and adopts them
+	// segment by segment in the oracle's pick order.
+	EngineThroughput
 )
 
 func (e Engine) String() string {
-	if e == EngineParallel {
+	switch e {
+	case EngineParallel:
 		return "parallel"
+	case EngineThroughput:
+		return "throughput"
 	}
 	return "sequential"
 }
@@ -244,8 +251,11 @@ func Run(m *machine.Machine, entry string, args []int64, cfg Config) (*Result, e
 	m.Workers[0].StartCall(entryPC, args)
 
 	loop := s.loop
-	if cfg.Engine == EngineParallel {
+	switch cfg.Engine {
+	case EngineParallel:
 		loop = s.loopParallel
+	case EngineThroughput:
+		loop = s.loopThroughput
 	}
 	err := s.protected(loop)
 	if err != nil {

@@ -39,6 +39,8 @@ func TestServingPathDeterminism(t *testing.T) {
 	hit := submit(base)
 	par := submit(JobRequest{App: "fib", Mode: "st", Workers: 4, Seed: 3,
 		Engine: "parallel", NoCache: true})
+	tp := submit(JobRequest{App: "fib", Mode: "st", Workers: 4, Seed: 3,
+		Engine: "throughput", NoCache: true})
 
 	// Direct execution: same tuple, no server, no cache.
 	w, err := figures.Workload("fib", figures.Quick, apps.ST)
@@ -82,4 +84,42 @@ func TestServingPathDeterminism(t *testing.T) {
 	check("cold", cold)
 	check("cache-hit", hit)
 	check("parallel-engine", par)
+	check("throughput-engine", tp)
+}
+
+// TestServerDefaultEngine checks Config.DefaultEngine fills requests that
+// leave the engine unset — and only those — and that the served bytes stay
+// identical to an explicit sequential run (the engines are
+// result-equivalent, so the default shifts wall-clock, never output).
+func TestServerDefaultEngine(t *testing.T) {
+	s := New(Config{QueueBound: 8, HostProcs: 2, CacheEntries: -1,
+		DefaultEngine: "throughput"})
+	defer s.Drain()
+
+	submit := func(req JobRequest) *Job {
+		t.Helper()
+		j, err := s.Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		awaitDone(t, j)
+		if st := jobState(s, j); st != StateDone {
+			t.Fatalf("state = %s (%s), want done", st, jobErr(s, j))
+		}
+		return j
+	}
+
+	def := submit(JobRequest{App: "fib", Mode: "st", Workers: 4, Seed: 3})
+	if def.Req.Engine != "throughput" {
+		t.Fatalf("default not applied: engine = %q", def.Req.Engine)
+	}
+	exp := submit(JobRequest{App: "fib", Mode: "st", Workers: 4, Seed: 3,
+		Engine: "sequential"})
+	if exp.Req.Engine != "sequential" {
+		t.Fatalf("explicit engine overridden: %q", exp.Req.Engine)
+	}
+	if !reflect.DeepEqual(def.out.Result, exp.out.Result) {
+		t.Fatalf("default-engine result differs from sequential:\n  %+v\n  %+v",
+			def.out.Result, exp.out.Result)
+	}
 }

@@ -39,7 +39,7 @@ type JobRequest struct {
 	FaultPlan string `json:"fault_plan,omitempty"`
 
 	// Serving directives.
-	Engine    string `json:"engine,omitempty"` // sequential | parallel (identical bytes)
+	Engine    string `json:"engine,omitempty"` // sequential | parallel | throughput (identical bytes)
 	HostProcs int    `json:"hostprocs,omitempty"`
 	Priority  int    `json:"priority,omitempty"` // higher dispatches first; FIFO within a class
 	TimeoutMs int64  `json:"timeout_ms,omitempty"`
@@ -99,9 +99,10 @@ func (r *JobRequest) normalize() error {
 }
 
 // Key is the canonical cache key: exactly the fields that determine the
-// run's bytes, in a fixed order. The engine is deliberately absent — both
-// engines produce byte-identical output for the same tuple, so a result
-// computed by either serves requests for both. The fault plan is present:
+// run's bytes, in a fixed order. The engine is deliberately absent — every
+// engine (sequential, parallel, throughput) produces byte-identical output
+// for the same tuple, so a result computed by any serves requests for all.
+// The fault plan is present:
 // virtual faults deterministically reshape the schedule. The audit cadence
 // is absent: auditing never changes a byte.
 func (r *JobRequest) Key() string {

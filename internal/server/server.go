@@ -84,6 +84,12 @@ type Config struct {
 	// HostProcs is the executor pool size — how many jobs run concurrently
 	// across host cores (default hostpar.Procs(0), i.e. GOMAXPROCS).
 	HostProcs int
+	// DefaultEngine, when non-empty, is the execution engine applied to
+	// jobs that leave the request's engine unset ("sequential", "parallel"
+	// or "throughput"). Empty keeps the process default (ST_ENGINE, then
+	// sequential). Engines are result-equivalent, so this only shifts host
+	// wall-clock, never a job's bytes or its cache key.
+	DefaultEngine string
 	// CacheEntries bounds the result cache's LRU (default 256; negative
 	// disables caching).
 	CacheEntries int
@@ -235,6 +241,9 @@ func validTraceID(id string) bool {
 // X-Trace-Id header). When the id is empty or malformed the server mints
 // one ("t-<n>") so every admitted job is traceable end to end.
 func (s *Server) SubmitTrace(req JobRequest, traceID string) (*Job, error) {
+	if req.Engine == "" {
+		req.Engine = s.cfg.DefaultEngine
+	}
 	if err := (&req).normalize(); err != nil {
 		return nil, err
 	}
@@ -621,6 +630,14 @@ func (s *Server) syncObsMetrics() {
 	s.met.Set("spec_reruns", cs.SpecReruns)
 	s.met.Set("spec_discards", cs.SpecDiscards)
 	s.met.Set("spec_serial_fallbacks", cs.SerialFallbacks)
+	s.met.Set("chain_epochs", cs.ChainEpochs)
+	s.met.Set("chains_launched", cs.ChainsLaunched)
+	s.met.Set("chain_segments", cs.ChainSegments)
+	s.met.Set("chain_commits", cs.ChainCommits)
+	s.met.Set("chain_reruns", cs.ChainReruns)
+	s.met.Set("chain_discards", cs.ChainDiscards)
+	s.met.Set("host_steals", cs.HostSteals)
+	s.met.Set("host_steal_attempts", cs.HostStealAttempts)
 	if s.host != nil {
 		s.met.Set("host_spans_dropped", s.host.Overwritten())
 	}
