@@ -15,6 +15,14 @@
 //	stload -app fib -seeds 1 -n 200               # one tuple: cache-hit path
 //	stload -app fib -n 20 -json                   # machine-readable report
 //	stload -app fib -n 20 -trace out.json         # two-clock Chrome trace
+//	stload -targets host1:8135,host2:8135,host3:8135 -n 300
+//	                                              # multi-node cluster load
+//
+// -targets spreads the load across several stserve nodes round-robin, with
+// per-node latency/throughput breakdowns in the report. A request whose
+// node is unreachable fails over to the next target, so a node killed
+// mid-run costs a retry, not a lost request. Targets may be bare
+// host:port (http:// is assumed).
 //
 // -seeds S cycles seeds 1..S across requests (S=1 repeats one canonical
 // tuple, measuring the cache-hit path; S=0 gives every request a unique
@@ -63,6 +71,28 @@ type levelStats struct {
 	spans     []obs.HostSpan // server-side spans returned on each job
 	jobTraces []obs.JobTrace // virtual traces of the first -tracejobs jobs
 	retried   atomic.Int64   // 429/503/transport retries (client OnRetry hook)
+
+	// Per-target breakdown (multi-node runs); indexed like the target list.
+	nodes []nodeStats
+}
+
+// nodeStats is one target's share of a level (guarded by levelStats.mu).
+type nodeStats struct {
+	hist      obs.Histogram // latency of requests this node served, µs
+	errors    int64         // requests that failed against this node
+	hits      int64
+	failovers int64 // requests that left this node for the next target
+}
+
+// nodeResult is one target's machine-readable breakdown (-json).
+type nodeResult struct {
+	Target        string            `json:"target"`
+	Completed     int64             `json:"completed"`
+	Errors        int64             `json:"errors"`
+	Failovers     int64             `json:"failovers"`
+	CacheHits     int64             `json:"cache_hits"`
+	ThroughputRPS float64           `json:"throughput_rps"`
+	PercentilesUs obs.PercentileSet `json:"percentiles_us"`
 }
 
 // levelResult is one concurrency level's machine-readable report (-json).
@@ -76,6 +106,7 @@ type levelResult struct {
 	ThroughputRPS float64           `json:"throughput_rps"`
 	PercentilesUs obs.PercentileSet `json:"percentiles_us"`
 	LatencyUs     obs.HistSnapshot  `json:"latency_us"`
+	Nodes         []nodeResult      `json:"nodes,omitempty"`
 }
 
 // us renders a µs-valued percentile as a rounded duration for the table.
@@ -86,6 +117,7 @@ func us(v int64) time.Duration {
 func main() {
 	var (
 		addr      = flag.String("addr", "http://127.0.0.1:8135", "stserve base URL")
+		targets   = flag.String("targets", "", "comma-separated stserve base URLs or host:port; spreads load round-robin with per-node breakdowns and failover (overrides -addr)")
 		appsFlag  = flag.String("app", "fib", "comma-separated benchmark names, cycled per request")
 		mode      = flag.String("mode", "st", "execution mode: seq, st, cilk")
 		workers   = flag.Int("workers", 4, "virtual workers per job")
@@ -108,6 +140,23 @@ func main() {
 	flag.Parse()
 
 	appList := strings.Split(*appsFlag, ",")
+	targetList := []string{*addr}
+	if *targets != "" {
+		targetList = targetList[:0]
+		for _, tgt := range strings.Split(*targets, ",") {
+			if tgt = strings.TrimSpace(tgt); tgt == "" {
+				continue
+			}
+			if !strings.Contains(tgt, "://") {
+				tgt = "http://" + tgt
+			}
+			targetList = append(targetList, tgt)
+		}
+		if len(targetList) == 0 {
+			fmt.Fprintln(os.Stderr, "stload: -targets named no targets")
+			os.Exit(2)
+		}
+	}
 	var levelList []int
 	for _, s := range strings.Split(*levels, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(s))
@@ -134,16 +183,19 @@ func main() {
 			"conc", "completed", "errors", "retries", "hits", "thr req/s", "p50", "p90", "p99", "max")
 	}
 	for li, c := range levelList {
-		st := &levelStats{hist: &obs.Histogram{}}
-		// One client per level so the retry counter and jitter stream are
-		// the level's own.
-		cl := client.New(client.Config{
-			BaseURL:     *addr,
-			HTTPClient:  &http.Client{Timeout: *timeout},
-			MaxAttempts: *retries,
-			OnRetry:     func(client.RetryInfo) { st.retried.Add(1) },
-			Host:        hostRec,
-		})
+		st := &levelStats{hist: &obs.Histogram{}, nodes: make([]nodeStats, len(targetList))}
+		// One client per target per level so the retry counter and jitter
+		// stream are the level's own and backoff state never crosses nodes.
+		clients := make([]*client.Client, len(targetList))
+		for i, tgt := range targetList {
+			clients[i] = client.New(client.Config{
+				BaseURL:     tgt,
+				HTTPClient:  &http.Client{Timeout: *timeout},
+				MaxAttempts: *retries,
+				OnRetry:     func(client.RetryInfo) { st.retried.Add(1) },
+				Host:        hostRec,
+			})
+		}
 		var seq atomic.Int64
 		start := time.Now()
 		var wg sync.WaitGroup
@@ -200,9 +252,29 @@ func main() {
 							req["trace"] = true
 						}
 					}
+					// Round-robin across targets, failing over to the next
+					// node when one is unreachable: a node killed mid-run
+					// costs a retry, never a lost request.
 					var view jobView
+					var err error
+					served := int(k) % len(targetList)
 					t0 := time.Now()
-					err := cl.PostJSONTrace(context.Background(), "/jobs", traceID, req, &view)
+					for off := 0; off < len(targetList); off++ {
+						idx := (int(k) + off) % len(targetList)
+						view = jobView{}
+						err = clients[idx].PostJSONTrace(context.Background(), "/jobs", traceID, req, &view)
+						if err == nil {
+							served = idx
+							break
+						}
+						st.mu.Lock()
+						if off < len(targetList)-1 {
+							st.nodes[idx].failovers++
+						} else {
+							st.nodes[idx].errors++
+						}
+						st.mu.Unlock()
+					}
 					lat := time.Since(t0)
 					st.mu.Lock()
 					switch {
@@ -210,10 +282,13 @@ func main() {
 						st.errors++
 					case view.State != "done":
 						st.errors++
+						st.nodes[served].errors++
 					default:
 						st.hist.Observe(lat.Microseconds())
+						st.nodes[served].hist.Observe(lat.Microseconds())
 						if view.Cache == "hit" {
 							st.hits++
+							st.nodes[served].hits++
 						}
 						if *traceOut != "" {
 							st.spans = append(st.spans, view.HostSpans...)
@@ -235,6 +310,21 @@ func main() {
 		totalCompleted += completed
 		thr := float64(completed) / elapsed.Seconds()
 		pcts := st.hist.Percentiles()
+		var nodes []nodeResult
+		if len(targetList) > 1 {
+			for i, tgt := range targetList {
+				ns := &st.nodes[i]
+				nodes = append(nodes, nodeResult{
+					Target:        tgt,
+					Completed:     ns.hist.Count(),
+					Errors:        ns.errors,
+					Failovers:     ns.failovers,
+					CacheHits:     ns.hits,
+					ThroughputRPS: float64(ns.hist.Count()) / elapsed.Seconds(),
+					PercentilesUs: ns.hist.Percentiles(),
+				})
+			}
+		}
 		if *jsonOut {
 			reg := obs.NewRegistry()
 			*reg.Histogram("latency_us") = *st.hist
@@ -248,11 +338,18 @@ func main() {
 				ThroughputRPS: thr,
 				PercentilesUs: pcts,
 				LatencyUs:     reg.Snapshot().Histograms["latency_us"],
+				Nodes:         nodes,
 			})
 		} else {
 			fmt.Printf("c=%-4d %10d %8d %8d %8d %12.1f %10v %10v %10v %10v\n",
 				c, completed, st.errors, st.retried.Load(), st.hits, thr,
 				us(pcts.P50), us(pcts.P90), us(pcts.P99), us(pcts.Max))
+			for _, nr := range nodes {
+				fmt.Printf("  %-28s %8d %8d %8d %12.1f %10v %10v %10v\n",
+					nr.Target, nr.Completed, nr.Errors+nr.Failovers, nr.CacheHits,
+					nr.ThroughputRPS, us(nr.PercentilesUs.P50),
+					us(nr.PercentilesUs.P90), us(nr.PercentilesUs.P99))
+			}
 		}
 
 		if *traceOut != "" {

@@ -8,6 +8,22 @@
 //	stserve -watchdog 30s -breaker-threshold 8         # hardened serving
 //	stserve -fault serve-panic:7                       # chaos drill
 //	stserve -log text                                  # human-readable logs
+//	stserve -checkpoint-dir /var/lib/stserve           # durable checkpoints
+//	stserve -node 10.0.0.1:8135 -peers 10.0.0.2:8135,10.0.0.3:8135
+//	                                                   # 3-node cluster member
+//
+// -checkpoint-dir makes long jobs crash-safe: the server periodically
+// writes each running job's continuation (a complete machine+scheduler
+// snapshot captured at a pick boundary) to the directory and, after a
+// restart, resumes a resubmitted job from its last checkpoint instead of
+// recomputing — byte-identically.
+//
+// -node (with -peers) joins a cluster: nodes gossip membership over HTTP,
+// route submissions to the consistent-hash owner of each job's canonical
+// tuple, and — with -steal — idle nodes adopt suspended continuations from
+// busy peers and post the finished output back. Point -checkpoint-dir at
+// shared storage and a job checkpointed by a crashed node resumes on any
+// survivor.
 //
 // API (see internal/server):
 //
@@ -42,14 +58,17 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/hostpar"
 	"repro/internal/obs"
 	"repro/internal/server"
+	"repro/internal/snapshot"
 )
 
 func main() {
@@ -68,6 +87,14 @@ func main() {
 		bcooldown = flag.Duration("breaker-cooldown", 0, "how long an open breaker sheds before probing (0 = default 2s)")
 		logMode   = flag.String("log", "json", "structured serving log to stderr: json, text or off")
 		spans     = flag.Int("spans", 0, "server-wide host-span ring bound (0 = default 4096, negative disables)")
+
+		ckptDir    = flag.String("checkpoint-dir", "", "directory for durable job checkpoints (empty = checkpointing off)")
+		ckptCycles = flag.Int64("checkpoint-cycles", 0, "virtual cycles between periodic checkpoints (0 = default 2M)")
+		nodeAddr   = flag.String("node", "", "advertised host:port joining this server to a cluster (empty = standalone)")
+		peersFlag  = flag.String("peers", "", "comma-separated peer host:port seeds for the cluster")
+		steal      = flag.Bool("steal", true, "with -node: adopt suspended continuations from busy peers when idle")
+		gossipMs   = flag.Int("gossip-ms", 0, "with -node: membership gossip period in ms (0 = default 500)")
+		stealTTL   = flag.Duration("steal-ttl", 0, "claim lifetime for stolen continuations (0 = default 10s)")
 	)
 	flag.Parse()
 
@@ -95,6 +122,19 @@ func main() {
 	if *spans >= 0 {
 		hostRec = obs.NewHostRecorder(*spans)
 	}
+	var store snapshot.Store
+	if *ckptDir != "" {
+		ds, err := snapshot.NewDirStore(*ckptDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stserve:", err)
+			os.Exit(2)
+		}
+		store = ds
+	}
+	if *peersFlag != "" && *nodeAddr == "" {
+		fmt.Fprintln(os.Stderr, "stserve: -peers requires -node (this node's advertised host:port)")
+		os.Exit(2)
+	}
 	s := server.New(server.Config{
 		QueueBound:       *queue,
 		HostProcs:        *hostprocs,
@@ -109,8 +149,35 @@ func main() {
 		BreakerCooldown:  *bcooldown,
 		HostSpans:        hostRec,
 		Log:              logger,
+		Checkpoints:      store,
+		CheckpointCycles: *ckptCycles,
+		StealTTL:         *stealTTL,
 	})
-	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
+	handler := s.Handler()
+	var node *cluster.Node
+	if *nodeAddr != "" {
+		var peers []string
+		for _, p := range strings.Split(*peersFlag, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, p)
+			}
+		}
+		n, err := cluster.New(s, cluster.Config{
+			Self:        *nodeAddr,
+			Peers:       peers,
+			GossipEvery: time.Duration(*gossipMs) * time.Millisecond,
+			Steal:       *steal,
+			Log:         logger,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stserve:", err)
+			os.Exit(2)
+		}
+		node = n
+		handler = n.Handler()
+		n.Start()
+	}
+	hs := &http.Server{Addr: *addr, Handler: handler}
 
 	// Buffer two signals: the first starts the drain, the second (while
 	// draining) forces an immediate exit.
@@ -125,6 +192,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "stserve: %v during drain: forcing immediate exit\n", sig2)
 			os.Exit(1)
 		}()
+		if node != nil {
+			// Stop gossiping and stealing before the drain so peers route
+			// around this node and no new continuation is adopted mid-exit.
+			node.Close()
+		}
 		s.Drain()
 		if b, err := s.Metrics().MarshalJSON(); err == nil {
 			fmt.Printf("stserve: final metrics:\n%s\n", b)
@@ -142,6 +214,12 @@ func main() {
 
 	fmt.Printf("stserve: listening on %s (executors=%d queue=%d cache=%d)\n",
 		*addr, hostpar.Procs(*hostprocs), *queue, *cache)
+	if node != nil {
+		fmt.Printf("stserve: cluster node %s (peers=%s steal=%v)\n", *nodeAddr, *peersFlag, *steal)
+	}
+	if *ckptDir != "" {
+		fmt.Printf("stserve: checkpointing to %s\n", *ckptDir)
+	}
 	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, "stserve:", err)
 		os.Exit(1)

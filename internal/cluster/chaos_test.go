@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/server"
+	"repro/internal/snapshot"
+)
+
+// postJSONTolerant is postJSON for a cluster under chaos: a transport
+// error (node killed mid-request) returns a nil response instead of
+// failing the test, so the caller can retry against a survivor.
+func postJSONTolerant(t *testing.T, url string, v any) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, nil
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil
+	}
+	return resp, b
+}
+
+// TestClusterChaosNightly is the nightly 3-node chaos sweep: every node's
+// executor path runs under serving-class fault injection (panics and
+// latency spikes), stealing is on, and one node is killed halfway through
+// the load. The cluster contract must hold regardless: every job
+// eventually completes — retried, forwarded, failed over, resumed or
+// stolen — with output byte-identical to a fault-free run.
+//
+// Gated behind ST_CLUSTER_CHAOS_SEEDS (the job count scales with it) so
+// the PR path stays fast; nightly.yml sets it.
+func TestClusterChaosNightly(t *testing.T) {
+	seeds, _ := strconv.Atoi(os.Getenv("ST_CLUSTER_CHAOS_SEEDS"))
+	if seeds <= 0 {
+		t.Skip("set ST_CLUSTER_CHAOS_SEEDS to run the cluster chaos sweep")
+	}
+
+	store, err := snapshot.NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One injector shared by all three nodes: serving faults hash
+	// (seed, job key, attempt), so a retried job re-rolls wherever it
+	// lands and a bounded number of attempts always gets through.
+	inj := fault.New(&fault.Plan{
+		Name: "cluster-chaos", Seed: 23,
+		ExecPanicPct: 20, ExecDelayPct: 30, ExecDelayMs: 25,
+	})
+	scfg := server.Config{
+		QueueBound: 64, HostProcs: 2,
+		// No result cache: every attempt must actually execute under
+		// faults. No breaker: shedding is not what this sweep measures.
+		CacheEntries: -1, BreakerThreshold: -1,
+		Fault: inj, Checkpoints: store, CheckpointCycles: 500_000,
+	}
+	nodes := startCluster(t, 3, scfg, func(i int, c *Config) {
+		c.Steal = true
+		c.StealEvery = 20 * time.Millisecond
+	})
+	byAddr := map[string]*testNode{}
+	for _, tn := range nodes {
+		byAddr[tn.addr] = tn
+	}
+
+	apps := []string{"fib", "heat", "cilksort"}
+	var reqs []server.JobRequest
+	for s := 0; s < seeds; s++ {
+		for _, app := range apps {
+			reqs = append(reqs, server.JobRequest{
+				App: app, Workers: 4, Seed: uint64(30 + s), Wait: true,
+			})
+		}
+	}
+
+	entries := []*testNode{nodes[0], nodes[1], nodes[2]}
+	killAt := len(reqs) / 2
+	for i, req := range reqs {
+		if i == killAt {
+			// One node dies mid-load; the survivors absorb its shard.
+			nodes[2].kill()
+			entries = entries[:2]
+		}
+		ref := reference(t, server.JobRequest{App: req.App, Workers: req.Workers, Seed: req.Seed})
+		completed := false
+		for attempt := 0; attempt < 15 && !completed; attempt++ {
+			entry := entries[(i+attempt)%len(entries)]
+			resp, body := postJSONTolerant(t, entry.url()+"/jobs", req)
+			if resp == nil || resp.StatusCode != http.StatusOK {
+				continue // dead node or shed request; go elsewhere
+			}
+			var view server.JobView
+			if err := json.Unmarshal(body, &view); err != nil {
+				t.Fatal(err)
+			}
+			if view.State != server.StateDone {
+				continue // injected fault, typed; the retry re-rolls
+			}
+			owner := byAddr[resp.Header.Get(HeaderOwner)]
+			if owner == nil {
+				t.Fatalf("job %d: unknown owner %q", i, resp.Header.Get(HeaderOwner))
+			}
+			j, err := owner.srv.Job(view.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := mustJSON(t, j.Output()); !bytes.Equal(got, ref) {
+				t.Fatalf("job %d (%s seed %d): chaos output differs from a fault-free run",
+					i, req.App, req.Seed)
+			}
+			completed = true
+		}
+		if !completed {
+			t.Fatalf("job %d (%s seed %d) never completed in 15 attempts (panic pct is 20; p(all fail) ~ 3e-11)",
+				i, req.App, req.Seed)
+		}
+	}
+
+	var restarts int64
+	for _, tn := range nodes {
+		restarts += tn.srv.Stats().ExecutorRestarts
+	}
+	if restarts == 0 {
+		t.Fatal("20% exec-panic plan never restarted an executor — injection not reaching the cluster path")
+	}
+}

@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Consistent-hash ring over the cluster's live members. Each member
+// contributes ringPoints virtual points so ownership spreads evenly and a
+// membership change only remaps the keyspace slice adjacent to the joined
+// or departed node — the property that keeps result caches and checkpoint
+// affinity warm across churn. Keys are canonical job tuples (CacheKey), so
+// the snapshot format version is part of the routed key and nodes on
+// different encodings never share artifacts.
+
+// ringPoints is the number of virtual points per member. 64 keeps the
+// ownership imbalance under a few percent for small clusters while the
+// ring stays tiny (a 16-node cluster is 1024 points).
+const ringPoints = 64
+
+// Ring maps keys to owning members. Immutable once built; nodes rebuild it
+// from the live membership on demand.
+type Ring struct {
+	points []ringPoint
+}
+
+type ringPoint struct {
+	h    uint64
+	addr string
+}
+
+// hash64 is FNV-1a: stable across processes and Go versions, which matters
+// because every node must agree on ownership without coordination.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// NewRing builds a ring over the given member addresses. Duplicates are
+// harmless; ordering is not significant.
+func NewRing(members []string) *Ring {
+	r := &Ring{points: make([]ringPoint, 0, len(members)*ringPoints)}
+	seen := make(map[string]bool, len(members))
+	for _, m := range members {
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		for i := 0; i < ringPoints; i++ {
+			r.points = append(r.points, ringPoint{hash64(m + "#" + strconv.Itoa(i)), m})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].h != r.points[b].h {
+			return r.points[a].h < r.points[b].h
+		}
+		// Hash ties (vanishingly rare) break by address so every node still
+		// agrees on the owner.
+		return r.points[a].addr < r.points[b].addr
+	})
+	return r
+}
+
+// Owner returns the member owning key, or "" for an empty ring.
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].addr
+}
+
+// Members returns the distinct member addresses on the ring, sorted.
+func (r *Ring) Members() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, p := range r.points {
+		if !seen[p.addr] {
+			seen[p.addr] = true
+			out = append(out, p.addr)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -213,6 +213,11 @@ type Config struct {
 	// counters (speculation commits/reruns/discards). Host-timing-
 	// dependent: diagnostics only, never part of a deterministic artifact.
 	Contention *sched.Contention
+	// Checkpoint, when non-nil, enables pick-boundary continuation capture
+	// (periodic checkpoints and cooperative yields) in the scheduled modes;
+	// see sched.Checkpoint. Sequential mode has no scheduler and is not
+	// checkpointable — setting this with Mode Sequential fails the run.
+	Checkpoint *sched.Checkpoint
 	// Out receives simulated program output (print builtins).
 	Out io.Writer
 	// RegWindows, OmitFP and LockedLib select the code-generation cost
@@ -258,6 +263,9 @@ type Result struct {
 	Instrs int64
 	// Steals, Attempts and Rejects describe migration activity.
 	Steals, Attempts, Rejects int64
+	// Picks is the number of scheduler pick boundaries (zero in sequential
+	// mode, which has none). Checkpoint capture points address this clock.
+	Picks int64
 	// Stats holds the per-worker counters.
 	Stats []machine.Stats
 }
@@ -271,10 +279,11 @@ func Run(w *apps.Workload, cfg Config) (*Result, error) {
 	return RunProgram(prog, w, cfg)
 }
 
-// RunProgram executes an already-compiled program for the workload (used
-// when the caller wants custom postprocessing options, e.g. the overhead
-// ablations).
-func RunProgram(prog *isa.Program, w *apps.Workload, cfg Config) (*Result, error) {
+// prepare resolves defaults, constructs the machine and runs the workload's
+// memory setup — everything shared between a fresh run and a resumption
+// (resumes must reconstruct the machine exactly as the capturing run did,
+// so the checkpointed image lands on an identical layout).
+func prepare(prog *isa.Program, w *apps.Workload, cfg *Config) (*machine.Machine, []int64, sched.Engine, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
 	}
@@ -283,7 +292,7 @@ func RunProgram(prog *isa.Program, w *apps.Workload, cfg Config) (*Result, error
 	// was trying to prove.
 	engine, err := cfg.Engine.schedEngine()
 	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+		return nil, nil, engine, fmt.Errorf("core: %w", err)
 	}
 	if cfg.CPU == nil {
 		cfg.CPU = isa.SPARC()
@@ -311,16 +320,81 @@ func RunProgram(prog *isa.Program, w *apps.Workload, cfg Config) (*Result, error
 
 	args := w.Args
 	if w.Setup != nil {
-		var err error
 		args, err = w.Setup(m.Mem)
 		if err != nil {
-			return nil, fmt.Errorf("core: setup %s: %w", w.Name, err)
+			return nil, nil, engine, fmt.Errorf("core: setup %s: %w", w.Name, err)
 		}
+	}
+	return m, args, engine, nil
+}
+
+// schedConfig maps the core config onto the scheduler's.
+func (cfg *Config) schedConfig(engine sched.Engine) sched.Config {
+	mode := sched.ModeST
+	if cfg.Mode == Cilk {
+		mode = sched.ModeCilk
+	}
+	policy := sched.StealOldest
+	if cfg.StealYoungest {
+		policy = sched.StealYoungest
+	}
+	return sched.Config{
+		Mode:          mode,
+		Policy:        policy,
+		Seed:          cfg.Seed,
+		Quantum:       cfg.Quantum,
+		MaxWorkCycles: cfg.MaxWorkCycles,
+		Stop:          ctxStop(cfg.Ctx),
+		Events:        cfg.Events,
+		Obs:           cfg.Obs,
+		Fault:         cfg.Fault,
+		Audit:         cfg.Audit,
+		Engine:        engine,
+		HostProcs:     hostProcs(cfg.HostProcs),
+		Progress:      cfg.Progress,
+		Contention:    cfg.Contention,
+		Checkpoint:    cfg.Checkpoint,
+	}
+}
+
+// finishRun is the shared tail of a run or resumption: the final audit,
+// instruction totals, observability finalization and result verification.
+func finishRun(m *machine.Machine, w *apps.Workload, cfg *Config, res *Result) (*Result, error) {
+	if cfg.Audit != nil {
+		// Final full audit over the end state, whatever the cadence.
+		if v := cfg.Audit.Audit(m); v != nil {
+			return nil, v
+		}
+	}
+	for _, st := range res.Stats {
+		res.Instrs += st.Instrs
+	}
+	if cfg.Obs != nil {
+		finishObs(cfg.Obs, m, res)
+	}
+	if w.Verify != nil {
+		if err := w.Verify(m.Mem, res.RV); err != nil {
+			return nil, fmt.Errorf("core: verify %s/%s: %w", w.Name, w.Variant, err)
+		}
+	}
+	return res, nil
+}
+
+// RunProgram executes an already-compiled program for the workload (used
+// when the caller wants custom postprocessing options, e.g. the overhead
+// ablations).
+func RunProgram(prog *isa.Program, w *apps.Workload, cfg Config) (*Result, error) {
+	m, args, engine, err := prepare(prog, w, &cfg)
+	if err != nil {
+		return nil, err
 	}
 
 	res := &Result{}
 	switch cfg.Mode {
 	case Sequential:
+		if cfg.Checkpoint != nil {
+			return nil, fmt.Errorf("core: checkpointing requires a scheduled mode (st or cilk); sequential runs have no pick boundaries")
+		}
 		var rv int64
 		var err error
 		if cfg.MaxWorkCycles > 0 || cfg.Ctx != nil || cfg.Audit != nil || cfg.Progress != nil {
@@ -363,61 +437,71 @@ func RunProgram(prog *isa.Program, w *apps.Workload, cfg Config) (*Result, error
 		res.WorkCycles = wk.Cycles
 		res.Stats = []machine.Stats{wk.Stats}
 	case StackThreads, Cilk:
-		mode := sched.ModeST
-		if cfg.Mode == Cilk {
-			mode = sched.ModeCilk
-		}
-		policy := sched.StealOldest
-		if cfg.StealYoungest {
-			policy = sched.StealYoungest
-		}
-		sres, err := sched.Run(m, w.Entry, args, sched.Config{
-			Mode:          mode,
-			Policy:        policy,
-			Seed:          cfg.Seed,
-			Quantum:       cfg.Quantum,
-			MaxWorkCycles: cfg.MaxWorkCycles,
-			Stop:          ctxStop(cfg.Ctx),
-			Events:        cfg.Events,
-			Obs:           cfg.Obs,
-			Fault:         cfg.Fault,
-			Audit:         cfg.Audit,
-			Engine:        engine,
-			HostProcs:     hostProcs(cfg.HostProcs),
-			Progress:      cfg.Progress,
-			Contention:    cfg.Contention,
-		})
+		sres, err := sched.Run(m, w.Entry, args, cfg.schedConfig(engine))
 		if err != nil {
 			return nil, err
 		}
-		res.RV = sres.RV
-		res.Time = sres.Time
-		res.WorkCycles = sres.WorkCycles
-		res.Steals = sres.Steals
-		res.Attempts = sres.Attempts
-		res.Rejects = sres.Rejects
-		res.Stats = sres.Stats
+		res.fromSched(sres)
 	default:
 		return nil, fmt.Errorf("core: unknown mode %v", cfg.Mode)
 	}
-	if cfg.Audit != nil {
-		// Final full audit over the end state, whatever the cadence.
-		if v := cfg.Audit.Audit(m); v != nil {
-			return nil, v
-		}
+	return finishRun(m, w, &cfg, res)
+}
+
+// fromSched copies a scheduler result into the run result.
+func (res *Result) fromSched(sres *sched.Result) {
+	res.RV = sres.RV
+	res.Time = sres.Time
+	res.WorkCycles = sres.WorkCycles
+	res.Steals = sres.Steals
+	res.Attempts = sres.Attempts
+	res.Rejects = sres.Rejects
+	res.Picks = sres.Picks
+	res.Stats = sres.Stats
+}
+
+// Resume continues a run from a continuation captured at a scheduler pick
+// boundary (a sched.Boundary from a checkpoint sink or a *sched.YieldError).
+// cfg must carry the same canonical tuple as the capturing run — mode,
+// workers, cpu, seed, quantum, policy, budget, fault plan — because the
+// machine is reconstructed from it before the captured state is installed;
+// the engine choice is free. For byte-identical final artifacts the caller
+// pre-seeds cfg.Obs (obs.Collector.ImportState), cfg.Events and cfg.Out
+// with the partial state captured alongside the boundary, and imports the
+// boundary's fault-injector state into cfg.Fault.
+func Resume(w *apps.Workload, cfg Config, b *sched.Boundary) (*Result, error) {
+	prog, err := w.Compile()
+	if err != nil {
+		return nil, fmt.Errorf("core: compile %s/%s: %w", w.Name, w.Variant, err)
 	}
-	for _, st := range res.Stats {
-		res.Instrs += st.Instrs
+	if cfg.Mode != StackThreads && cfg.Mode != Cilk {
+		return nil, fmt.Errorf("core: resume requires a scheduled mode (st or cilk), have %v", cfg.Mode)
 	}
-	if cfg.Obs != nil {
-		finishObs(cfg.Obs, m, res)
+	if b == nil || b.Mach == nil || b.Sched == nil {
+		return nil, fmt.Errorf("core: resume: incomplete boundary")
 	}
-	if w.Verify != nil {
-		if err := w.Verify(m.Mem, res.RV); err != nil {
-			return nil, fmt.Errorf("core: verify %s/%s: %w", w.Name, w.Variant, err)
-		}
+	// Reconstruct the machine exactly as the capturing run's prepare did —
+	// including the workload's memory setup, whose deterministic allocations
+	// both recreate any addresses the workload's Verify closure captured and
+	// keep the construction identical. The captured image then overwrites
+	// memory wholesale.
+	m, _, engine, err := prepare(prog, w, &cfg)
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	if err := m.ImportState(b.Mach); err != nil {
+		return nil, fmt.Errorf("core: resume: %w", err)
+	}
+	if err := cfg.Fault.ImportState(b.Fault); err != nil {
+		return nil, fmt.Errorf("core: resume: %w", err)
+	}
+	sres, err := sched.Resume(m, cfg.schedConfig(engine), b.Sched)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	res.fromSched(sres)
+	return finishRun(m, w, &cfg, res)
 }
 
 // finishObs closes out the observability layer at the end of a run: it

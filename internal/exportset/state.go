@@ -1,0 +1,24 @@
+package exportset
+
+import "slices"
+
+// Export returns the set's entries in internal heap-array order — a
+// deterministic order (the heap array is a pure function of the push/pop
+// history, which the deterministic scheduler fixes), and one that Import can
+// reinstall verbatim: any valid heap array is a valid heap.
+func (s *Set) Export() []Entry {
+	return slices.Clone(s.h)
+}
+
+// Import rebuilds a set from entries previously produced by Export. The
+// slice is copied; the membership index is reconstructed.
+func Import(entries []Entry) Set {
+	c := Set{h: slices.Clone(entries)}
+	if len(entries) > 0 {
+		c.live = make(map[int64]bool, len(entries))
+		for _, e := range entries {
+			c.live[e.FP] = true
+		}
+	}
+	return c
+}

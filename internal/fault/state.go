@@ -1,0 +1,39 @@
+package fault
+
+import "fmt"
+
+// State is the injector's serializable mutable state: the per-site xorshift
+// stream positions. Virtual-fault draws are consumed at pick boundaries, so
+// a resumed run must continue each stream exactly where the checkpointed run
+// left it — otherwise the post-resume fault schedule (and with it every
+// byte) would diverge from the undisturbed run. The injection counters are
+// host-side diagnostics only and are not carried.
+type State struct {
+	Streams []uint64
+}
+
+// ExportState captures the stream positions; nil for a nil injector.
+func (f *Injector) ExportState() *State {
+	if f == nil {
+		return nil
+	}
+	st := &State{Streams: make([]uint64, numSites)}
+	copy(st.Streams, f.streams[:])
+	return st
+}
+
+// ImportState restores stream positions exported by ExportState. A nil
+// state is a no-op (the checkpointed run had no injector).
+func (f *Injector) ImportState(st *State) error {
+	if st == nil {
+		return nil
+	}
+	if f == nil {
+		return fmt.Errorf("fault: import into nil injector (checkpoint carries fault state but the run has no plan)")
+	}
+	if len(st.Streams) != numSites {
+		return fmt.Errorf("fault: import has %d site streams, want %d", len(st.Streams), numSites)
+	}
+	copy(f.streams[:], st.Streams)
+	return nil
+}

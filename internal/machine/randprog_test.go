@@ -1,168 +1,20 @@
 package machine_test
 
 import (
-	"fmt"
 	"math/rand"
 	"testing"
 
-	"repro/internal/apps"
-	"repro/internal/asm"
 	"repro/internal/core"
 	"repro/internal/isa"
 	"repro/internal/machine"
 	"repro/internal/mem"
+	"repro/internal/randprog"
 	"repro/internal/stlib"
 )
 
-// Random-program fuzzing: generate fork trees with random shapes — fan-out,
-// depth, compute, and blocking children that park on gates their parent
-// opens later — and run them through the whole pipeline on several worker
-// counts with the invariant checker on. Every node adds its id to a shared
-// accumulator under an inline test-and-set lock, so the result checks that
-// every thread ran exactly once regardless of scheduling.
-
-type rnode struct {
-	id       int64
-	children []*rnode
-	blockers int
-	work     int
-}
-
-// genTree builds a random tree of at most maxNodes nodes.
-func genTree(rng *rand.Rand, maxNodes int) (*rnode, int) {
-	id := int64(0)
-	var build func(depth int, budget *int) *rnode
-	build = func(depth int, budget *int) *rnode {
-		id++
-		n := &rnode{id: id, work: rng.Intn(12), blockers: rng.Intn(3)}
-		if depth > 0 {
-			fan := rng.Intn(4)
-			for i := 0; i < fan && *budget > 0; i++ {
-				*budget--
-				n.children = append(n.children, build(depth-1, budget))
-			}
-		}
-		return n
-	}
-	budget := maxNodes
-	root := build(3+rng.Intn(3), &budget)
-	return root, int(id)
-}
-
-// expected computes the accumulator value the tree must produce.
-func expected(n *rnode) int64 {
-	total := n.id + 7*int64(n.blockers)
-	for _, c := range n.children {
-		total += expected(c)
-	}
-	return total
-}
-
-// emitTree generates one procedure per node plus the shared blocker.
-//
-// Node signature: node_<id>(env, jcParent). env[0]=acc cell, env[1]=lock.
-func emitTree(u *asm.Unit, root *rnode) {
-	blk := u.Proc("rblocker", 4, stlib.CtxWords)
-	blk.LoadArg(isa.R0, 0) // gate
-	blk.LoadArg(isa.R1, 1) // done
-	blk.LoadArg(isa.R2, 2) // env
-	blk.LoadArg(isa.R3, 3) // jcParent
-	stlib.JCJoinInline(blk, isa.R0, 0)
-	// contribute 7 under the lock
-	blk.Load(isa.T0, isa.R2, 1)
-	stlib.LockAddrInline(blk, isa.T0)
-	blk.Load(isa.T1, isa.R2, 0)
-	blk.Load(isa.T2, isa.T1, 0)
-	blk.AddI(isa.T2, isa.T2, 7)
-	blk.Store(isa.T1, 0, isa.T2)
-	stlib.UnlockAddrInline(blk, isa.T0)
-	stlib.JCFinishInline(blk, isa.R1)
-	stlib.JCFinishInline(blk, isa.R3)
-	blk.RetVoid()
-
-	var emit func(n *rnode)
-	emit = func(n *rnode) {
-		// Locals: child jc, gate jc, done jc, ctx, plus work scratch.
-		const (
-			locJC   = 0
-			locGate = stlib.JCWords
-			locDone = 2 * stlib.JCWords
-			locCtx  = 3 * stlib.JCWords
-		)
-		b := u.Proc(fmt.Sprintf("node_%d", n.id), 2, 3*stlib.JCWords+stlib.CtxWords)
-		b.LoadArg(isa.R0, 0) // env
-		b.LoadArg(isa.R1, 1) // parent jc
-
-		for i := 0; i < n.work; i++ {
-			b.AddI(isa.T0, isa.T0, 3)
-			b.MulI(isa.T0, isa.T0, 5)
-		}
-
-		// contribute id under the lock
-		b.Load(isa.T0, isa.R0, 1)
-		stlib.LockAddrInline(b, isa.T0)
-		b.Load(isa.T1, isa.R0, 0)
-		b.Load(isa.T2, isa.T1, 0)
-		b.AddI(isa.T2, isa.T2, n.id)
-		b.Store(isa.T1, 0, isa.T2)
-		stlib.UnlockAddrInline(b, isa.T0)
-
-		// fork all structural children under one counter
-		if len(n.children) > 0 {
-			b.LocalAddr(isa.R2, locJC)
-			stlib.JCInitInline(b, isa.R2, int64(len(n.children)))
-			for _, c := range n.children {
-				b.SetArg(0, isa.R0)
-				b.SetArg(1, isa.R2)
-				b.Fork(fmt.Sprintf("node_%d", c.id))
-				b.Poll()
-			}
-			stlib.JCJoinInline(b, isa.R2, locCtx)
-		}
-
-		// blockers: fork one at a time, park it, release it, wait for it
-		for i := 0; i < n.blockers; i++ {
-			b.LocalAddr(isa.R3, locGate)
-			b.LocalAddr(isa.R4, locDone)
-			b.LocalAddr(isa.R2, locJC)
-			stlib.JCInitInline(b, isa.R3, 1)
-			stlib.JCInitInline(b, isa.R4, 1)
-			stlib.JCInitInline(b, isa.R2, 1)
-			b.SetArg(0, isa.R3)
-			b.SetArg(1, isa.R4)
-			b.SetArg(2, isa.R0)
-			b.SetArg(3, isa.R2)
-			b.Fork("rblocker")
-			b.Poll()
-			stlib.JCFinishInline(b, isa.R3) // open the gate
-			stlib.JCJoinInline(b, isa.R4, locCtx)
-			stlib.JCJoinInline(b, isa.R2, locCtx)
-		}
-
-		stlib.JCFinishInline(b, isa.R1)
-		b.RetVoid()
-
-		for _, c := range n.children {
-			emit(c)
-		}
-	}
-	emit(root)
-
-	// rmain(env): run the root under a counter and return the accumulator.
-	m := u.Proc("rmain", 1, stlib.JCWords+stlib.CtxWords)
-	m.LoadArg(isa.R0, 0)
-	m.LocalAddr(isa.R1, 0)
-	stlib.JCInitInline(m, isa.R1, 1)
-	m.SetArg(0, isa.R0)
-	m.SetArg(1, isa.R1)
-	m.Fork(fmt.Sprintf("node_%d", root.id))
-	m.Poll()
-	stlib.JCJoinInline(m, isa.R1, stlib.JCWords)
-	m.Load(isa.T0, isa.R0, 0)
-	m.Load(isa.RV, isa.T0, 0)
-	m.Ret(isa.RV)
-	stlib.AddBoot(u, "rmain", 1)
-}
+// Random-program fuzzing over the generator in internal/randprog: random
+// fork trees through the whole pipeline on several worker counts with the
+// invariant checker on.
 
 // TestRandomTreesFastPathCycleExact is the fast-path equivalence property:
 // on random fork trees, a machine running with the batched fast path must be
@@ -176,18 +28,10 @@ func TestRandomTreesFastPathCycleExact(t *testing.T) {
 	}
 	for seed := int64(0); seed < 10; seed++ {
 		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
-		root, _ := genTree(rng, 30)
-		want := expected(root)
+		root, _ := randprog.Generate(rng, 30)
+		want := randprog.Expected(root)
 
-		u := asm.NewUnit()
-		stlib.AddJoinLib(u)
-		emitTree(u, root)
-		w := &apps.Workload{
-			Name:    "randtree",
-			Variant: apps.ST,
-			Procs:   u.MustBuild(),
-			Entry:   stlib.ProcBoot,
-		}
+		w := randprog.Workload(root)
 		prog, err := w.Compile()
 		if err != nil {
 			t.Fatalf("seed %d: compile: %v", seed, err)
@@ -199,15 +43,12 @@ func TestRandomTreesFastPathCycleExact(t *testing.T) {
 				NoFastPath: noFast,
 				Seed:       uint64(seed),
 			})
-			acc, err := m.Mem.Alloc(1)
+			args, err := w.Setup(m.Mem)
 			if err != nil {
-				t.Fatalf("seed %d: alloc: %v", seed, err)
+				t.Fatalf("seed %d: setup: %v", seed, err)
 			}
-			lock, _ := m.Mem.Alloc(1)
-			env, _ := m.Mem.Alloc(2)
-			m.Mem.WriteWords(env, []int64{acc, lock})
 			wk := m.Workers[0]
-			wk.StartCall(prog.EntryOf[stlib.ProcBoot], []int64{env})
+			wk.StartCall(prog.EntryOf[stlib.ProcBoot], args)
 			return wk
 		}
 		wf, ws := newWorker(false), newWorker(true)
@@ -263,32 +104,9 @@ func TestRandomForkTrees(t *testing.T) {
 	}
 	for seed := int64(0); seed < 25; seed++ {
 		rng := rand.New(rand.NewSource(seed))
-		root, _ := genTree(rng, 30)
-		want := expected(root)
-
-		u := asm.NewUnit()
-		stlib.AddJoinLib(u)
-		emitTree(u, root)
-		w := &apps.Workload{
-			Name:    "randtree",
-			Variant: apps.ST,
-			Procs:   u.MustBuild(),
-			Entry:   stlib.ProcBoot,
-		}
-		w.HeapWords = 1 << 10
-		w.Setup = func(m *mem.Memory) ([]int64, error) {
-			acc, err := m.Alloc(1)
-			if err != nil {
-				return nil, err
-			}
-			lock, _ := m.Alloc(1)
-			env, err := m.Alloc(2)
-			if err != nil {
-				return nil, err
-			}
-			m.WriteWords(env, []int64{acc, lock})
-			return []int64{env}, nil
-		}
+		root, _ := randprog.Generate(rng, 30)
+		want := randprog.Expected(root)
+		w := randprog.Workload(root)
 
 		for _, workers := range []int{1, 3, 7} {
 			for _, mode := range []core.Mode{core.StackThreads, core.Cilk} {

@@ -1,0 +1,178 @@
+package machine
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+
+	"repro/internal/exportset"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// This file implements whole-machine state export/import — the substrate of
+// checkpoint/resume and cluster-level job migration. Where spec.go captures
+// one worker's architectural state for the duration of a speculative quantum
+// (sharing pointers with the live machine), ExportState produces a fully
+// self-contained, host-independent value: every field is plain data, so the
+// snapshot codec can serialize it and a different process can rebuild an
+// identical machine from it.
+//
+// The contract is exactness: reconstruct the machine the same way it was
+// originally built (same program, memory sizes, cost model, worker count,
+// options), call ImportState with a state exported at a scheduler pick
+// boundary, and the resumed run is byte-identical to the undisturbed one —
+// the round-trip property tests in internal/sched prove it across engines.
+
+// ContextState is the serializable form of a suspended thread Context.
+type ContextState struct {
+	ResumePC int64
+	Top      int64
+	Bottom   int64
+	Regs     [isa.NumCalleeSave]int64
+}
+
+// SegState is one physical stack segment: its address region and the
+// exported set of frames retained in it.
+type SegState struct {
+	Lo, Hi   int64
+	Exported []exportset.Entry
+}
+
+// WorkerState is one worker's complete architectural state.
+type WorkerState struct {
+	Regs   [isa.NumRegs]int64
+	PC     int64
+	Cycles int64
+	Stats  Stats
+	Cur    int
+	Free   []int
+	Poll   bool
+	WLLo   int64
+	WLHi   int64
+	Segs   []SegState
+	Ready  []ContextState
+}
+
+// ThunkState is one pending restart thunk together with its magic pc.
+type ThunkState struct {
+	PC       int64
+	ResumePC int64
+	Callsite int64
+	IsFork   bool
+	FP       int64
+	Regs     [isa.NumCalleeSave]int64
+}
+
+// State is a machine's complete restorable state at a quiescent boundary:
+// the memory image, every worker, the pending restart thunks, and the
+// machine-global counters (thunk numbering, PRNG).
+type State struct {
+	Mem       *mem.State
+	Workers   []WorkerState
+	Thunks    []ThunkState
+	NextThunk int64
+	Rng       uint64
+}
+
+// ExportState captures the machine's complete state. It must be called at a
+// quiescent point (a scheduler pick boundary): no worker mid-quantum, no
+// speculation outstanding. Everything is deep-copied.
+func (m *Machine) ExportState() *State {
+	st := &State{
+		Mem:       m.Mem.ExportState(),
+		NextThunk: m.nextThunk,
+		Rng:       m.rng,
+	}
+	for _, w := range m.Workers {
+		ws := WorkerState{
+			Regs:   w.Regs,
+			PC:     w.PC,
+			Cycles: w.Cycles,
+			Stats:  w.Stats,
+			Cur:    w.cur,
+			Free:   slices.Clone(w.free),
+			Poll:   w.PollSignal,
+			WLLo:   w.WL.Lo,
+			WLHi:   w.WL.Hi,
+		}
+		for _, sg := range w.Segs {
+			ws.Segs = append(ws.Segs, SegState{
+				Lo: sg.Region.Lo, Hi: sg.Region.Hi,
+				Exported: sg.Exported.Export(),
+			})
+		}
+		for _, c := range w.ReadyQ.snapshot() {
+			ws.Ready = append(ws.Ready, ContextState{
+				ResumePC: c.ResumePC, Top: c.Top, Bottom: c.Bottom, Regs: c.Regs,
+			})
+		}
+		st.Workers = append(st.Workers, ws)
+	}
+	// The thunk map iterates in arbitrary order; pcs are unique, so sorting
+	// by pc makes the export deterministic.
+	for pc, t := range m.thunks {
+		st.Thunks = append(st.Thunks, ThunkState{
+			PC: pc, ResumePC: t.resumePC, Callsite: t.callsite,
+			IsFork: t.isFork, FP: t.fp, Regs: t.regs,
+		})
+	}
+	sort.Slice(st.Thunks, func(i, j int) bool { return st.Thunks[i].PC < st.Thunks[j].PC })
+	return st
+}
+
+// ImportState installs a previously exported state onto a machine that was
+// reconstructed the same way as the exporting one (same program, memory
+// sizes, cost model, worker count, options). The state's slices are copied,
+// never aliased.
+func (m *Machine) ImportState(st *State) error {
+	if len(st.Workers) != len(m.Workers) {
+		return fmt.Errorf("machine: import has %d workers, machine has %d",
+			len(st.Workers), len(m.Workers))
+	}
+	if err := m.Mem.ImportState(st.Mem); err != nil {
+		return fmt.Errorf("machine: %w", err)
+	}
+	for i, ws := range st.Workers {
+		w := m.Workers[i]
+		if len(ws.Segs) == 0 {
+			return fmt.Errorf("machine: import worker %d has no stack segments", i)
+		}
+		if ws.Cur < 0 || ws.Cur >= len(ws.Segs) {
+			return fmt.Errorf("machine: import worker %d current segment %d out of range", i, ws.Cur)
+		}
+		w.Regs = ws.Regs
+		w.PC = ws.PC
+		w.Cycles = ws.Cycles
+		w.Err = nil
+		w.Stats = ws.Stats
+		w.cur = ws.Cur
+		w.free = slices.Clone(ws.Free)
+		w.PollSignal = ws.Poll
+		w.WL = mem.Region{Lo: ws.WLLo, Hi: ws.WLHi}
+		w.Segs = w.Segs[:0]
+		for _, sg := range ws.Segs {
+			w.Segs = append(w.Segs, &StackSegment{
+				Region:   mem.Region{Lo: sg.Lo, Hi: sg.Hi},
+				Exported: exportset.Import(sg.Exported),
+			})
+		}
+		ready := make([]*Context, 0, len(ws.Ready))
+		for _, c := range ws.Ready {
+			ready = append(ready, &Context{
+				ResumePC: c.ResumePC, Top: c.Top, Bottom: c.Bottom, Regs: c.Regs,
+			})
+		}
+		w.ReadyQ.restoreFrom(ready)
+	}
+	m.thunks = make(map[int64]*thunk, len(st.Thunks))
+	for _, ts := range st.Thunks {
+		m.thunks[ts.PC] = &thunk{
+			resumePC: ts.ResumePC, callsite: ts.Callsite,
+			isFork: ts.IsFork, fp: ts.FP, regs: ts.Regs,
+		}
+	}
+	m.nextThunk = st.NextThunk
+	m.rng = st.Rng
+	return nil
+}

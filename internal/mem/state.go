@@ -1,0 +1,41 @@
+package mem
+
+import "fmt"
+
+// State is a complete, restorable image of a Memory: every mapped word plus
+// the heap bump pointer. The guard size, heap bounds and region layout are
+// not stored — they are pure functions of how the memory was constructed
+// (heap capacity, then MapStack/MapWords calls in order), so a resumed run
+// rebuilds them by reconstructing the machine the same way and then
+// installing this image on top.
+type State struct {
+	Words    []int64
+	HeapNext Addr
+}
+
+// ExportState deep-copies the memory image.
+func (m *Memory) ExportState() *State {
+	words := make([]int64, len(m.words))
+	copy(words, m.words)
+	return &State{Words: words, HeapNext: m.heapNext}
+}
+
+// ImportState replaces the memory image with a previously exported one. The
+// image may be longer than the current mapping (the checkpointed run mapped
+// extra stack segments after construction); it can never be shorter, because
+// the importer reconstructs the machine with the same worker count and stack
+// sizes before installing the image.
+func (m *Memory) ImportState(st *State) error {
+	if Addr(len(st.Words)) < Addr(len(m.words)) {
+		return fmt.Errorf("mem: import image has %d words, current mapping needs %d",
+			len(st.Words), len(m.words))
+	}
+	if st.HeapNext < m.heapLo || st.HeapNext > m.heapHi {
+		return fmt.Errorf("mem: import heap pointer %d outside heap [%d,%d)",
+			st.HeapNext, m.heapLo, m.heapHi)
+	}
+	m.words = make([]int64, len(st.Words))
+	copy(m.words, st.Words)
+	m.heapNext = st.HeapNext
+	return nil
+}

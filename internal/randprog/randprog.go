@@ -1,0 +1,201 @@
+// Package randprog generates random fork-tree programs for property tests:
+// trees with random fan-out, depth, compute, and blocking children that park
+// on gates their parent opens later. Every node adds its id to a shared
+// accumulator under an inline test-and-set lock, so the expected result
+// checks that every thread ran exactly once regardless of scheduling.
+//
+// The generator is deterministic in its seed, so a test can regenerate the
+// identical program on both sides of a serialize/restore boundary.
+package randprog
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/apps"
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/stlib"
+)
+
+// Node is one node of a random fork tree.
+type Node struct {
+	ID       int64
+	Children []*Node
+	// Blockers is the number of children that park on a gate join counter
+	// the parent opens after forking them — forced suspensions.
+	Blockers int
+	// Work is the amount of straight-line compute before contributing.
+	Work int
+}
+
+// Generate builds a random tree of at most maxNodes nodes from rng and
+// returns it with its node count.
+func Generate(rng *rand.Rand, maxNodes int) (*Node, int) {
+	id := int64(0)
+	var build func(depth int, budget *int) *Node
+	build = func(depth int, budget *int) *Node {
+		id++
+		n := &Node{ID: id, Work: rng.Intn(12), Blockers: rng.Intn(3)}
+		if depth > 0 {
+			fan := rng.Intn(4)
+			for i := 0; i < fan && *budget > 0; i++ {
+				*budget--
+				n.Children = append(n.Children, build(depth-1, budget))
+			}
+		}
+		return n
+	}
+	budget := maxNodes
+	root := build(3+rng.Intn(3), &budget)
+	return root, int(id)
+}
+
+// Expected computes the accumulator value the tree must produce: each node
+// contributes its id, each blocker a fixed 7.
+func Expected(n *Node) int64 {
+	total := n.ID + 7*int64(n.Blockers)
+	for _, c := range n.Children {
+		total += Expected(c)
+	}
+	return total
+}
+
+// Emit generates one procedure per node plus the shared blocker and the
+// rmain/boot entry into u. The caller provides the unit (with the join
+// library already added) so tests can mix in their own procedures.
+//
+// Node signature: node_<id>(env, jcParent). env[0]=acc cell, env[1]=lock.
+func Emit(u *asm.Unit, root *Node) {
+	blk := u.Proc("rblocker", 4, stlib.CtxWords)
+	blk.LoadArg(isa.R0, 0) // gate
+	blk.LoadArg(isa.R1, 1) // done
+	blk.LoadArg(isa.R2, 2) // env
+	blk.LoadArg(isa.R3, 3) // jcParent
+	stlib.JCJoinInline(blk, isa.R0, 0)
+	// contribute 7 under the lock
+	blk.Load(isa.T0, isa.R2, 1)
+	stlib.LockAddrInline(blk, isa.T0)
+	blk.Load(isa.T1, isa.R2, 0)
+	blk.Load(isa.T2, isa.T1, 0)
+	blk.AddI(isa.T2, isa.T2, 7)
+	blk.Store(isa.T1, 0, isa.T2)
+	stlib.UnlockAddrInline(blk, isa.T0)
+	stlib.JCFinishInline(blk, isa.R1)
+	stlib.JCFinishInline(blk, isa.R3)
+	blk.RetVoid()
+
+	var emit func(n *Node)
+	emit = func(n *Node) {
+		// Locals: child jc, gate jc, done jc, ctx, plus work scratch.
+		const (
+			locJC   = 0
+			locGate = stlib.JCWords
+			locDone = 2 * stlib.JCWords
+			locCtx  = 3 * stlib.JCWords
+		)
+		b := u.Proc(fmt.Sprintf("node_%d", n.ID), 2, 3*stlib.JCWords+stlib.CtxWords)
+		b.LoadArg(isa.R0, 0) // env
+		b.LoadArg(isa.R1, 1) // parent jc
+
+		for i := 0; i < n.Work; i++ {
+			b.AddI(isa.T0, isa.T0, 3)
+			b.MulI(isa.T0, isa.T0, 5)
+		}
+
+		// contribute id under the lock
+		b.Load(isa.T0, isa.R0, 1)
+		stlib.LockAddrInline(b, isa.T0)
+		b.Load(isa.T1, isa.R0, 0)
+		b.Load(isa.T2, isa.T1, 0)
+		b.AddI(isa.T2, isa.T2, n.ID)
+		b.Store(isa.T1, 0, isa.T2)
+		stlib.UnlockAddrInline(b, isa.T0)
+
+		// fork all structural children under one counter
+		if len(n.Children) > 0 {
+			b.LocalAddr(isa.R2, locJC)
+			stlib.JCInitInline(b, isa.R2, int64(len(n.Children)))
+			for _, c := range n.Children {
+				b.SetArg(0, isa.R0)
+				b.SetArg(1, isa.R2)
+				b.Fork(fmt.Sprintf("node_%d", c.ID))
+				b.Poll()
+			}
+			stlib.JCJoinInline(b, isa.R2, locCtx)
+		}
+
+		// blockers: fork one at a time, park it, release it, wait for it
+		for i := 0; i < n.Blockers; i++ {
+			b.LocalAddr(isa.R3, locGate)
+			b.LocalAddr(isa.R4, locDone)
+			b.LocalAddr(isa.R2, locJC)
+			stlib.JCInitInline(b, isa.R3, 1)
+			stlib.JCInitInline(b, isa.R4, 1)
+			stlib.JCInitInline(b, isa.R2, 1)
+			b.SetArg(0, isa.R3)
+			b.SetArg(1, isa.R4)
+			b.SetArg(2, isa.R0)
+			b.SetArg(3, isa.R2)
+			b.Fork("rblocker")
+			b.Poll()
+			stlib.JCFinishInline(b, isa.R3) // open the gate
+			stlib.JCJoinInline(b, isa.R4, locCtx)
+			stlib.JCJoinInline(b, isa.R2, locCtx)
+		}
+
+		stlib.JCFinishInline(b, isa.R1)
+		b.RetVoid()
+
+		for _, c := range n.Children {
+			emit(c)
+		}
+	}
+	emit(root)
+
+	// rmain(env): run the root under a counter and return the accumulator.
+	m := u.Proc("rmain", 1, stlib.JCWords+stlib.CtxWords)
+	m.LoadArg(isa.R0, 0)
+	m.LocalAddr(isa.R1, 0)
+	stlib.JCInitInline(m, isa.R1, 1)
+	m.SetArg(0, isa.R0)
+	m.SetArg(1, isa.R1)
+	m.Fork(fmt.Sprintf("node_%d", root.ID))
+	m.Poll()
+	stlib.JCJoinInline(m, isa.R1, stlib.JCWords)
+	m.Load(isa.T0, isa.R0, 0)
+	m.Load(isa.RV, isa.T0, 0)
+	m.Ret(isa.RV)
+	stlib.AddBoot(u, "rmain", 1)
+}
+
+// Workload assembles the tree into a runnable workload: join library, node
+// procedures, heap setup allocating the accumulator, lock and environment.
+// Deterministic — two calls with equal trees produce identical programs.
+func Workload(root *Node) *apps.Workload {
+	u := asm.NewUnit()
+	stlib.AddJoinLib(u)
+	Emit(u, root)
+	w := &apps.Workload{
+		Name:    "randtree",
+		Variant: apps.ST,
+		Procs:   u.MustBuild(),
+		Entry:   stlib.ProcBoot,
+	}
+	w.HeapWords = 1 << 10
+	w.Setup = func(m *mem.Memory) ([]int64, error) {
+		acc, err := m.Alloc(1)
+		if err != nil {
+			return nil, err
+		}
+		lock, _ := m.Alloc(1)
+		env, err := m.Alloc(2)
+		if err != nil {
+			return nil, err
+		}
+		m.WriteWords(env, []int64{acc, lock})
+		return []int64{env}, nil
+	}
+	return w
+}

@@ -169,6 +169,9 @@ type Config struct {
 	// counts (speculation commits/reruns/discards). Host-timing-dependent
 	// — never part of any deterministic artifact.
 	Contention *Contention
+	// Checkpoint, when non-nil, enables pick-boundary continuation capture:
+	// periodic Sink invocations and cooperative yields (see checkpoint.go).
+	Checkpoint *Checkpoint
 }
 
 // Result summarizes one parallel run.
@@ -183,7 +186,11 @@ type Result struct {
 	Steals     int64
 	Attempts   int64
 	Rejects    int64
-	Stats      []machine.Stats
+	// Picks is the total number of pick boundaries the run passed through —
+	// the length of the pick-boundary clock that Checkpoint.YieldAtPick
+	// addresses. Engine-invariant, and a resumed run continues the count.
+	Picks int64
+	Stats []machine.Stats
 }
 
 type wStatus int
@@ -215,6 +222,10 @@ type scheduler struct {
 	// into a suspend/restart pair.
 	spurious []bool
 
+	// picks counts checkAbort calls — the pick-boundary clock the
+	// checkpoint layer's YieldAtPick addresses.
+	picks int64
+
 	res Result
 }
 
@@ -223,17 +234,14 @@ type scheduler struct {
 // corrupt machine state mid-run and prove the auditor catches it.
 var testHookSabotage func(s *scheduler)
 
-// Run executes entry(args...) across all of m's workers under cfg.
-func Run(m *machine.Machine, entry string, args []int64, cfg Config) (*Result, error) {
+// newScheduler builds a scheduler over m with defaults applied; Run and
+// Resume share it.
+func newScheduler(m *machine.Machine, cfg Config) (*scheduler, error) {
 	if cfg.Quantum <= 0 {
 		cfg.Quantum = 200
 	}
 	if cfg.MaxCycles <= 0 {
 		cfg.MaxCycles = 50_000_000_000
-	}
-	entryPC, ok := m.Prog.EntryOf[entry]
-	if !ok {
-		return nil, fmt.Errorf("sched: no procedure %q", entry)
 	}
 	n := len(m.Workers)
 	s := &scheduler{
@@ -248,10 +256,14 @@ func Run(m *machine.Machine, entry string, args []int64, cfg Config) (*Result, e
 	for i := 1; i < n; i++ {
 		s.status[i] = idle
 	}
-	m.Workers[0].StartCall(entryPC, args)
+	return s, nil
+}
 
+// execute runs the configured engine loop to completion and assembles the
+// result.
+func (s *scheduler) execute() (*Result, error) {
 	loop := s.loop
-	switch cfg.Engine {
+	switch s.cfg.Engine {
 	case EngineParallel:
 		loop = s.loopParallel
 	case EngineThroughput:
@@ -261,11 +273,26 @@ func Run(m *machine.Machine, entry string, args []int64, cfg Config) (*Result, e
 	if err != nil {
 		return nil, err
 	}
-	for _, w := range m.Workers {
+	for _, w := range s.m.Workers {
 		s.res.WorkCycles += w.Cycles
 		s.res.Stats = append(s.res.Stats, w.Stats)
 	}
+	s.res.Picks = s.picks
 	return &s.res, nil
+}
+
+// Run executes entry(args...) across all of m's workers under cfg.
+func Run(m *machine.Machine, entry string, args []int64, cfg Config) (*Result, error) {
+	entryPC, ok := m.Prog.EntryOf[entry]
+	if !ok {
+		return nil, fmt.Errorf("sched: no procedure %q", entry)
+	}
+	s, err := newScheduler(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	m.Workers[0].StartCall(entryPC, args)
+	return s.execute()
 }
 
 // next returns the index of the worker with the earliest next-action time,
@@ -310,6 +337,7 @@ func (s *scheduler) protected(fn func() error) (err error) {
 // engines call it with the picked worker, in the same pick sequence, so
 // limit aborts are deterministic across engines.
 func (s *scheduler) checkAbort(w *machine.Worker) error {
+	s.picks++
 	if w.Cycles > s.cfg.MaxCycles {
 		return fmt.Errorf("sched: exceeded MaxCycles=%d", s.cfg.MaxCycles)
 	}
@@ -345,6 +373,12 @@ func (s *scheduler) checkAbort(w *machine.Worker) error {
 			if err := s.auditSched(); err != nil {
 				return err
 			}
+		}
+	}
+	if cp := s.cfg.Checkpoint; cp != nil {
+		// Last, so a capture only happens at boundaries the run survives.
+		if err := s.checkpointTick(cp); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -215,7 +215,7 @@ func TestBreakerShedsAfterHostFailuresAndRecovers(t *testing.T) {
 	if err := (&probe).normalize(); err != nil {
 		t.Fatalf("normalize: %v", err)
 	}
-	s.cache.Put(probe.Key(), &JobOutput{Result: &core.Result{RV: 1}})
+	s.cache.Put(probe.CacheKey(), &JobOutput{Result: &core.Result{RV: 1}})
 	s.breaker.now = func() time.Time { return time.Now().Add(2 * time.Hour) }
 
 	j, err := s.Submit(JobRequest{App: "fib"})

@@ -38,6 +38,10 @@ type JobView struct {
 	Cache    string `json:"cache,omitempty"`
 	Error    string `json:"error,omitempty"`
 	Failure  string `json:"failure,omitempty"` // taxonomy: fault | invariant | panic | timeout
+	// Resumed marks a run that continued from a checkpoint or a stolen
+	// continuation rather than recomputing from scratch (host-side fact;
+	// the bytes are identical either way).
+	Resumed bool `json:"resumed,omitempty"`
 
 	Result  *coreResultView `json:"result,omitempty"`
 	Metrics json.RawMessage `json:"metrics,omitempty"`
@@ -76,11 +80,12 @@ func (s *Server) view(j *Job) JobView {
 		TraceID:  j.traceID,
 		State:    j.state,
 		App:      j.Req.App,
-		Key:      j.Req.Key(),
+		Key:      j.Req.CacheKey(),
 		Priority: j.Req.Priority,
 		Cache:    j.cacheUse,
 		Error:    j.errMsg,
 		Failure:  j.failure,
+		Resumed:  j.resumed,
 	}
 	if len(j.hostSpans) > 0 {
 		v.HostSpans = append([]obs.HostSpan(nil), j.hostSpans...)

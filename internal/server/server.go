@@ -41,6 +41,7 @@ import (
 	"repro/internal/invariant"
 	"repro/internal/obs"
 	"repro/internal/sched"
+	"repro/internal/snapshot"
 )
 
 // Admission errors.
@@ -124,6 +125,18 @@ type Config struct {
 	// lifecycle, drain, breaker trips), each tagged with the job's
 	// trace_id. Nil disables logging.
 	Log *slog.Logger
+	// Checkpoints, when non-nil, persists running jobs' continuations every
+	// CheckpointCycles of virtual work, keyed by versioned canonical tuple.
+	// A job whose tuple has a stored checkpoint resumes from it instead of
+	// recomputing — across restarts too, and across nodes when the store's
+	// directory is shared. Sequential-mode jobs are not checkpointable.
+	Checkpoints snapshot.Store
+	// CheckpointCycles is the capture cadence (default 2,000,000).
+	CheckpointCycles int64
+	// StealTTL bounds how long a stolen job may stay out for adoption; past
+	// it the claim expires and the job is requeued locally from its own
+	// continuation (default 10s).
+	StealTTL time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -142,6 +155,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 2 * time.Second
+	}
+	if c.StealTTL <= 0 {
+		c.StealTTL = 10 * time.Second
 	}
 	return c
 }
@@ -241,6 +257,12 @@ func validTraceID(id string) bool {
 // X-Trace-Id header). When the id is empty or malformed the server mints
 // one ("t-<n>") so every admitted job is traceable end to end.
 func (s *Server) SubmitTrace(req JobRequest, traceID string) (*Job, error) {
+	return s.submit(req, traceID, nil)
+}
+
+// submit is the shared admission path; resume, when non-nil, is an encoded
+// continuation the job adopts instead of starting fresh.
+func (s *Server) submit(req JobRequest, traceID string, resume []byte) (*Job, error) {
 	if req.Engine == "" {
 		req.Engine = s.cfg.DefaultEngine
 	}
@@ -277,6 +299,7 @@ func (s *Server) SubmitTrace(req JobRequest, traceID string) (*Job, error) {
 		state:     StateQueued,
 		phase:     "queued",
 		submitted: time.Now(),
+		resume:    resume,
 		ctx:       ctx,
 		cancel:    cancel,
 		done:      make(chan struct{}),
@@ -344,13 +367,38 @@ func (s *Server) Cancel(id string) (*Job, error) {
 		return nil, ErrNoJob
 	}
 	switch j.state {
-	case StateQueued:
+	case StateQueued, StateStolen:
+		// Queued: skipped at dispatch. Stolen: the claim dies with the
+		// terminal transition, so a late thief completion is rejected.
 		s.finishLocked(j, nil, context.Canceled, "")
 	case StateRunning:
 		j.cancel()
 	}
 	s.mu.Unlock()
 	return j, nil
+}
+
+// noteExec folds host-side execution events (checkpoint written, resumed
+// from continuation, stale-format checkpoint dropped) into the job record
+// and the metrics registry.
+func (s *Server) noteExec(j *Job, event string) {
+	switch event {
+	case "resume":
+		s.met.Add("jobs_resumed", 1)
+		s.mu.Lock()
+		j.resumed = true
+		s.mu.Unlock()
+		s.logEvent("job resumed from continuation", "trace_id", j.traceID, "job", j.ID)
+	case "checkpoint":
+		s.met.Add("checkpoints_written", 1)
+		s.mu.Lock()
+		j.ckpts++
+		j.lastCkpt = time.Now()
+		s.mu.Unlock()
+	case "stale-format":
+		s.met.Add("checkpoints_stale_format", 1)
+		s.logEvent("stale-format checkpoint dropped", "trace_id", j.traceID, "job", j.ID)
+	}
 }
 
 // runJob executes one dispatched job on an executor slot.
@@ -382,7 +430,7 @@ func (s *Server) runJob(j *Job) {
 		defer cancel()
 	}
 
-	key := j.Req.Key()
+	key := j.Req.CacheKey()
 	cacheUse := "bypass"
 	if !j.Req.NoCache {
 		probe0 := time.Now()
@@ -400,9 +448,16 @@ func (s *Server) runJob(j *Job) {
 	}
 	s.mu.Lock()
 	j.phase = "execute"
-	s.mu.Unlock()
-
-	s.mu.Lock()
+	// A scheduled-mode job gets a capture handle: the cluster layer yields
+	// it for stealing, and the checkpoint store (if any) snapshots it
+	// periodically. Sequential runs have no pick boundaries.
+	var cp *sched.Checkpoint
+	if j.Req.Mode != "seq" {
+		cp = &sched.Checkpoint{}
+		j.cp = cp
+	}
+	resume := j.resume
+	j.resume = nil
 	s.attempts[key]++
 	attempt := s.attempts[key]
 	s.mu.Unlock()
@@ -435,7 +490,16 @@ func (s *Server) runJob(j *Job) {
 		if s.cfg.Fault.ExecPanic(key, attempt) {
 			panic(&fault.Error{Site: "exec-panic"})
 		}
-		out, err := ExecuteOpts(ctx, j.Req, ExecOpts{Progress: j.progress, Contention: s.cont})
+		out, err := ExecuteOpts(ctx, j.Req, ExecOpts{
+			Progress:         j.progress,
+			Contention:       s.cont,
+			Checkpoints:      s.cfg.Checkpoints,
+			CheckpointCycles: s.cfg.CheckpointCycles,
+			Checkpoint:       cp,
+			Resume:           resume,
+			TraceID:          j.traceID,
+			Notify:           func(ev string) { s.noteExec(j, ev) },
+		})
 		resc <- execResult{out: out, err: err}
 	}()
 
@@ -455,6 +519,13 @@ func (s *Server) runJob(j *Job) {
 			// Re-raise on the slot: the supervisor isolates the job and
 			// restarts the slot (see executor.run).
 			panic(r.pan)
+		}
+		var susp *SuspendedError
+		if errors.As(r.err, &susp) {
+			// The run yielded its continuation (cluster steal): the job is
+			// not terminal — it goes out for adoption or requeues.
+			s.suspendJob(j, susp)
+			return
 		}
 		if r.err == nil && cacheUse == "miss" {
 			if ev := s.cache.Put(key, r.out); ev > 0 {
@@ -565,6 +636,16 @@ func (s *Server) finishLocked(j *Job, out *JobOutput, err error, cacheUse string
 	j.cacheUse = cacheUse
 	j.phase = "finished"
 	j.finished = time.Now()
+	// Retire the checkpoint/steal lifecycle: the claim dies with the job,
+	// and a thief blocked in StealOne is woken to find the job gone.
+	j.cp = nil
+	j.claim = ""
+	j.stolenEnc = nil
+	j.resume = nil
+	if j.stealCh != nil {
+		close(j.stealCh)
+		j.stealCh = nil
+	}
 	s.pending--
 	close(j.done)
 	s.drainCond.Broadcast()
@@ -648,6 +729,7 @@ type DebugJobView struct {
 	ID       string `json:"id"`
 	TraceID  string `json:"trace_id"`
 	App      string `json:"app"`
+	Key      string `json:"key"`
 	State    string `json:"state"`
 	Phase    string `json:"phase"`
 	Priority int    `json:"priority,omitempty"`
@@ -658,6 +740,25 @@ type DebugJobView struct {
 	// burned, scheduler picks serviced); zero until execution starts.
 	WorkCycles int64 `json:"work_cycles,omitempty"`
 	Picks      int64 `json:"picks,omitempty"`
+	// Resumed marks a run continued from a checkpoint or stolen
+	// continuation; Checkpoints counts periodic captures written, and
+	// CheckpointAgeUs is the host time since the last one (0 = never).
+	Resumed         bool  `json:"resumed,omitempty"`
+	Checkpoints     int64 `json:"checkpoints,omitempty"`
+	CheckpointAgeUs int64 `json:"checkpoint_age_us,omitempty"`
+}
+
+// DebugStealView summarizes the node's cluster-steal activity.
+type DebugStealView struct {
+	// Out: continuations handed to thieves. In: continuations adopted from
+	// victims. Completed: stolen jobs whose result a thief posted back.
+	// Reclaimed: claims that expired and requeued locally. Rejected:
+	// completions refused for a dead claim.
+	Out       int64 `json:"out"`
+	In        int64 `json:"in"`
+	Completed int64 `json:"completed"`
+	Reclaimed int64 `json:"reclaimed"`
+	Rejected  int64 `json:"rejected"`
 }
 
 // DebugView is the live-introspection snapshot behind GET /debug/jobs:
@@ -672,6 +773,7 @@ type DebugView struct {
 	Breaker          string                   `json:"breaker"` // disabled | closed | open | half-open
 	Contention       sched.ContentionSnapshot `json:"contention"`
 	HostSpansDropped int64                    `json:"host_spans_dropped,omitempty"`
+	Steals           DebugStealView           `json:"steals"`
 	Jobs             []DebugJobView           `json:"jobs"`
 }
 
@@ -685,6 +787,13 @@ func (s *Server) DebugSnapshot() DebugView {
 		Breaker:    s.breaker.State(),
 		QueueDepth: s.queue.Len(),
 		Contention: s.cont.Snapshot(),
+		Steals: DebugStealView{
+			Out:       s.met.Counter("steals_out"),
+			In:        s.met.Counter("steals_in"),
+			Completed: s.met.Counter("steals_completed"),
+			Reclaimed: s.met.Counter("steals_reclaimed"),
+			Rejected:  s.met.Counter("steals_rejected"),
+		},
 	}
 	if s.host != nil {
 		v.HostSpansDropped = s.host.Overwritten()
@@ -701,6 +810,7 @@ func (s *Server) DebugSnapshot() DebugView {
 			ID:       j.ID,
 			TraceID:  j.traceID,
 			App:      j.Req.App,
+			Key:      j.Req.CacheKey(),
 			State:    j.state,
 			Phase:    j.phase,
 			Priority: j.Req.Priority,
@@ -710,6 +820,11 @@ func (s *Server) DebugSnapshot() DebugView {
 		if p := j.progress; p != nil {
 			dj.WorkCycles = p.WorkCycles.Load()
 			dj.Picks = p.Picks.Load()
+		}
+		dj.Resumed = j.resumed
+		dj.Checkpoints = j.ckpts
+		if !j.lastCkpt.IsZero() {
+			dj.CheckpointAgeUs = now.Sub(j.lastCkpt).Microseconds()
 		}
 		v.Jobs = append(v.Jobs, dj)
 	}
