@@ -58,6 +58,7 @@ func main() {
 		engine    = flag.String("engine", "default", "host engine per run: sequential, parallel or throughput")
 		hostprocs = flag.Int("hostprocs", 0, "host cores for fanning data points and the parallel engine (0 = all)")
 		maxcycles = flag.Int64("maxcycles", 0, "per-run total work-cycle budget (0 = unlimited)")
+		audit     = flag.Int64("audit-every", 0, "audit the paper's 3.2 invariants every N scheduler picks inside each run (0 = off)")
 		hotpath   = flag.Bool("hotpath", false, "measure interpreter speed (host-ns per virtual cycle) on the hot-path trio")
 	)
 	flag.Parse()
@@ -75,7 +76,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "stbench:", err)
 		os.Exit(2)
 	}
-	opts := figures.Opts{HostProcs: *hostprocs, Engine: eng, MaxWorkCycles: *maxcycles}
+	opts := figures.Opts{HostProcs: *hostprocs, Engine: eng, MaxWorkCycles: *maxcycles, AuditEvery: *audit}
 
 	sc := figures.Quick
 	if *full {

@@ -1,0 +1,21 @@
+package main
+
+import "flag"
+
+// addAuditFlags registers the live-auditor cadence flags on fs.
+// -audit-every is the canonical name (shared with stbench and the
+// adversarial harness); -audit is the original spelling, kept as an alias.
+func addAuditFlags(fs *flag.FlagSet) (every, alias *int64) {
+	every = fs.Int64("audit-every", 0, "audit the paper's 3.2 invariants every N scheduler picks (0 = off)")
+	alias = fs.Int64("audit", 0, "alias for -audit-every")
+	return every, alias
+}
+
+// auditCadence resolves the effective cadence: the canonical flag wins,
+// then the alias; zero means no auditing.
+func auditCadence(every, alias int64) int64 {
+	if every > 0 {
+		return every
+	}
+	return alias
+}

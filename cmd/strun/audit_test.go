@@ -1,0 +1,33 @@
+package main
+
+import (
+	"flag"
+	"testing"
+)
+
+// TestAuditFlagParsing covers the -audit-every / -audit pair: either
+// spelling sets the cadence, the canonical name wins when both are given,
+// and the default is off.
+func TestAuditFlagParsing(t *testing.T) {
+	cases := []struct {
+		args []string
+		want int64
+	}{
+		{nil, 0},
+		{[]string{"-audit-every", "1"}, 1},
+		{[]string{"-audit", "64"}, 64},
+		{[]string{"-audit-every", "8", "-audit", "64"}, 8},
+		{[]string{"-audit", "64", "-audit-every", "8"}, 8},
+		{[]string{"-audit-every", "0", "-audit", "5"}, 5},
+	}
+	for _, c := range cases {
+		fs := flag.NewFlagSet("strun", flag.ContinueOnError)
+		every, alias := addAuditFlags(fs)
+		if err := fs.Parse(c.args); err != nil {
+			t.Fatalf("%v: %v", c.args, err)
+		}
+		if got := auditCadence(*every, *alias); got != c.want {
+			t.Errorf("%v: cadence %d, want %d", c.args, got, c.want)
+		}
+	}
+}

@@ -40,9 +40,9 @@ func main() {
 		hostprocs = flag.Int("hostprocs", 0, "host cores for the parallel engines (0 = all)")
 		maxcycles = flag.Int64("maxcycles", 0, "abort after this many total work cycles (0 = unlimited)")
 		faultFlag = flag.String("fault", "", "deterministic fault plan, name[:seed] (see -list-faults)")
-		audit     = flag.Int64("audit", 0, "audit the paper's 3.2 invariants every N scheduler picks (0 = off)")
 		listF     = flag.Bool("list-faults", false, "list named fault plans and exit")
 	)
+	auditEvery, audit := addAuditFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -74,8 +74,8 @@ func main() {
 	}
 	inj := fault.New(plan)
 	var aud *invariant.Auditor
-	if *audit > 0 {
-		aud = invariant.New(*audit)
+	if n := auditCadence(*auditEvery, *audit); n > 0 {
+		aud = invariant.New(n)
 	}
 	variant := apps.ST
 	cfg := core.Config{
@@ -151,7 +151,8 @@ func main() {
 		fmt.Printf("faults        %d injected (plan %s): %s\n", inj.Total(), inj.Plan().String(), detail)
 	}
 	if aud != nil {
-		fmt.Printf("audits        %d passed (every %d picks)\n", aud.Audits(), *audit)
+		fmt.Printf("audits        %d passed (every %d picks)\n",
+			aud.Audits(), auditCadence(*auditEvery, *audit))
 	}
 	for i, st := range res.Stats {
 		fmt.Printf("worker %-3d    instrs=%d calls=%d suspends=%d restarts=%d exports=%d shrinks=%d extends=%d stack-high=%d\n",

@@ -204,6 +204,12 @@ type Config struct {
 	// violation aborts the run with a typed *invariant.Violation.
 	// Auditing never changes a run's bytes.
 	Audit *invariant.Auditor
+	// Canary, when non-nil, arms the adversarial stack-safety harness: the
+	// canary builtins register per-frame words here and the auditor's
+	// caller-integrity / frame-confidentiality rules check them (see
+	// machine.CanaryMap). Installing a map changes which builtins may be
+	// speculated, so it is part of the run's configuration tuple.
+	Canary *machine.CanaryMap
 	// Progress, when non-nil, receives a live host-visible view of the
 	// run's advancement (work cycles, picks), updated at scheduler pick
 	// boundaries (and between sequential slices). Read concurrently by
@@ -316,6 +322,7 @@ func prepare(prog *isa.Program, w *apps.Workload, cfg *Config) (*machine.Machine
 		OmitFP:          cfg.OmitFP,
 		LockedLib:       cfg.LockedLib,
 		Obs:             cfg.Obs,
+		Canary:          cfg.Canary,
 	})
 
 	args := w.Args

@@ -83,6 +83,11 @@ var presets = []Plan{
 	{Name: "stalls", StallPct: 10, StallCycles: 3000},
 	{Name: "spec-chaos", SpecAbortPct: 60},
 	{Name: "mixed", StealDropPct: 15, StealDelayPct: 15, SpuriousPollPct: 2, StallPct: 5, SpecAbortPct: 25},
+	// adversarial leans on the sites that stress the frame discipline the
+	// hardest — forced suspensions, delayed steals and speculation churn —
+	// and is the default rotation of the stack-safety fuzz harness.
+	{Name: "adversarial", StealDropPct: 20, StealDelayPct: 25, StealDelayCycles: 600,
+		SpuriousPollPct: 3, StallPct: 8, SpecAbortPct: 40},
 	{Name: "serve-panic", ExecPanicPct: 35},
 	{Name: "serve-latency", ExecDelayPct: 50, ExecDelayMs: 250},
 	{Name: "serve-mixed", ExecPanicPct: 20, ExecDelayPct: 30, ExecDelayMs: 150},

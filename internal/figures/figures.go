@@ -15,6 +15,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/hostpar"
+	"repro/internal/invariant"
 	"repro/internal/isa"
 	"repro/internal/spec"
 )
@@ -32,6 +33,21 @@ type Opts struct {
 	// MaxWorkCycles, when positive, bounds each individual run's total work
 	// (see core.Config.MaxWorkCycles); a budget abort fails the figure.
 	MaxWorkCycles int64
+	// AuditEvery, when positive, runs the Section 3.2 invariant auditor
+	// every N scheduler picks inside each individual run. Auditing is
+	// read-only and charges no virtual cycles, so every figure number is
+	// byte-identical with or without it; a violation fails the figure.
+	AuditEvery int64
+}
+
+// audit builds a fresh auditor per run (the auditor carries per-run pick
+// counters, so sharing one across runs would skew its cadence); nil when
+// auditing is off.
+func (o Opts) audit() *invariant.Auditor {
+	if o.AuditEvery <= 0 {
+		return nil
+	}
+	return invariant.New(o.AuditEvery)
 }
 
 // Scale selects experiment sizes.
@@ -183,7 +199,7 @@ func UniprocessorWith(w io.Writer, sc Scale, opts Opts) ([]UniRow, error) {
 		if err != nil {
 			return err
 		}
-		seqRes, err := core.Run(seqW, core.Config{Mode: core.Sequential, Engine: opts.Engine, MaxWorkCycles: opts.MaxWorkCycles})
+		seqRes, err := core.Run(seqW, core.Config{Mode: core.Sequential, Engine: opts.Engine, MaxWorkCycles: opts.MaxWorkCycles, Audit: opts.audit()})
 		if err != nil {
 			return fmt.Errorf("%s/seq: %w", name, err)
 		}
@@ -191,7 +207,7 @@ func UniprocessorWith(w io.Writer, sc Scale, opts Opts) ([]UniRow, error) {
 		if err != nil {
 			return err
 		}
-		stRes, err := core.Run(stW, core.Config{Mode: core.StackThreads, Workers: 1, Engine: opts.Engine, MaxWorkCycles: opts.MaxWorkCycles})
+		stRes, err := core.Run(stW, core.Config{Mode: core.StackThreads, Workers: 1, Engine: opts.Engine, MaxWorkCycles: opts.MaxWorkCycles, Audit: opts.audit()})
 		if err != nil {
 			return fmt.Errorf("%s/st: %w", name, err)
 		}
@@ -199,7 +215,7 @@ func UniprocessorWith(w io.Writer, sc Scale, opts Opts) ([]UniRow, error) {
 		if err != nil {
 			return err
 		}
-		ckRes, err := core.Run(ckW, core.Config{Mode: core.Cilk, Workers: 1, Engine: opts.Engine, MaxWorkCycles: opts.MaxWorkCycles})
+		ckRes, err := core.Run(ckW, core.Config{Mode: core.Cilk, Workers: 1, Engine: opts.Engine, MaxWorkCycles: opts.MaxWorkCycles, Audit: opts.audit()})
 		if err != nil {
 			return fmt.Errorf("%s/cilk: %w", name, err)
 		}
@@ -264,7 +280,7 @@ func ScalingWith(w io.Writer, sc Scale, benches []string, opts Opts) ([]ScaleRow
 		if err != nil {
 			return err
 		}
-		stRes, err := core.Run(stW, core.Config{Mode: core.StackThreads, Workers: n, Seed: 1, Engine: opts.Engine, MaxWorkCycles: opts.MaxWorkCycles})
+		stRes, err := core.Run(stW, core.Config{Mode: core.StackThreads, Workers: n, Seed: 1, Engine: opts.Engine, MaxWorkCycles: opts.MaxWorkCycles, Audit: opts.audit()})
 		if err != nil {
 			return fmt.Errorf("%s/st/p=%d: %w", name, n, err)
 		}
@@ -272,7 +288,7 @@ func ScalingWith(w io.Writer, sc Scale, benches []string, opts Opts) ([]ScaleRow
 		if err != nil {
 			return err
 		}
-		ckRes, err := core.Run(ckW, core.Config{Mode: core.Cilk, Workers: n, Seed: 1, Engine: opts.Engine, MaxWorkCycles: opts.MaxWorkCycles})
+		ckRes, err := core.Run(ckW, core.Config{Mode: core.Cilk, Workers: n, Seed: 1, Engine: opts.Engine, MaxWorkCycles: opts.MaxWorkCycles, Audit: opts.audit()})
 		if err != nil {
 			return fmt.Errorf("%s/cilk/p=%d: %w", name, n, err)
 		}

@@ -115,3 +115,87 @@ func TestAuditorCadence(t *testing.T) {
 		t.Fatal("nil auditor did something")
 	}
 }
+
+// TestCanaryClobberCaught: a live canary whose recorded value disagrees
+// with memory is a caller-integrity violation.
+func TestCanaryClobberCaught(t *testing.T) {
+	m := newMachine(t, nil)
+	cm := machine.NewCanaryMap()
+	m.Opts.Canary = cm
+	addr := int64(mem.Guard)
+	cm.RegisterRaw(machine.CanaryEntry{Addr: addr, Want: m.Mem.Load(addr) + 1, Owner: 0, FP: 0})
+	v := invariant.Check(m)
+	if v == nil || v.Rule != "caller-integrity" {
+		t.Fatalf("clobbered canary not caught: %v", v)
+	}
+}
+
+// TestExposedPrivateCanaryCaught: a private canary below its owner's stack
+// top sits in space the runtime hands out as free — the confidentiality
+// rule must fire even though the word's value is still intact.
+func TestExposedPrivateCanaryCaught(t *testing.T) {
+	m := newMachine(t, nil)
+	cm := machine.NewCanaryMap()
+	m.Opts.Canary = cm
+	w := m.Workers[0]
+	addr := w.Stack().Lo + 4
+	if addr >= w.SP() {
+		t.Fatalf("test setup: addr %d not below stack top %d", addr, w.SP())
+	}
+	cm.RegisterRaw(machine.CanaryEntry{Addr: addr, Want: m.Mem.Load(addr), Owner: 0, FP: addr + 8, Private: true})
+	v := invariant.Check(m)
+	if v == nil || v.Rule != "frame-confidentiality" {
+		t.Fatalf("exposed private canary not caught: %v", v)
+	}
+	if !strings.Contains(v.Detail, "exposed below") {
+		t.Fatalf("wrong confidentiality diagnosis: %s", v.Detail)
+	}
+}
+
+// TestCheckAllCollectsEverything: with two independent faults planted,
+// Check returns the first while CheckAll returns both, and Report renders
+// them all.
+func TestCheckAllCollectsEverything(t *testing.T) {
+	m := newMachine(t, nil)
+	cm := machine.NewCanaryMap()
+	m.Opts.Canary = cm
+	a1 := int64(mem.Guard)
+	cm.RegisterRaw(machine.CanaryEntry{Addr: a1, Want: m.Mem.Load(a1) + 1, Owner: 0, FP: 0})
+	a2 := a1 + 1
+	cm.RegisterRaw(machine.CanaryEntry{Addr: a2, Want: m.Mem.Load(a2), Owner: 0, FP: 0, Private: true})
+
+	if v := invariant.Check(m); v == nil {
+		t.Fatal("Check missed the planted faults")
+	}
+	all := invariant.CheckAll(m)
+	if len(all) < 2 {
+		t.Fatalf("CheckAll found %d violations, want >= 2", len(all))
+	}
+	rules := map[string]bool{}
+	for _, v := range all {
+		rules[v.Rule] = true
+	}
+	if !rules["caller-integrity"] || !rules["frame-confidentiality"] {
+		t.Fatalf("CheckAll rules = %v, want both security rules", rules)
+	}
+	rep := invariant.Report(m)
+	if !strings.Contains(rep, "caller-integrity") || !strings.Contains(rep, "frame-confidentiality") {
+		t.Fatalf("Report missing rules:\n%s", rep)
+	}
+}
+
+// TestDumpNeverPanics: the dump renderer is called from failure paths, so
+// it must cope with any partially initialized machine — nil machine, nil
+// memory, nil workers, zero-value workers with no Obs and no segments.
+func TestDumpNeverPanics(t *testing.T) {
+	for _, m := range []*machine.Machine{
+		nil,
+		{},
+		{Workers: []*machine.Worker{nil}},
+		{Workers: []*machine.Worker{{}}},
+	} {
+		if s := invariant.Dump(m); s == "" {
+			t.Fatal("empty dump")
+		}
+	}
+}

@@ -69,6 +69,7 @@ func baseBuiltinCost() map[Builtin]int64 {
 		BWorkerID: 2, BNumWorkers: 2,
 		BMemCopy: 4, BMemSet: 3, // plus per-word cost charged by the machine
 		BLibCall: 25, BLockedLibCall: 25, BShrink: 8, BHalt: 1,
+		BCanary: 4, BCanaryRetire: 4,
 	}
 }
 

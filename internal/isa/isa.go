@@ -398,6 +398,17 @@ const (
 	// the runtime also shrinks on its own at scheduling points.
 	BShrink
 	BHalt
+	// BCanary stamps a canary word: mem[arg0] <- arg1, and when a canary
+	// map is installed (adversarial harness) registers the word as retained
+	// state of the calling frame so the caller-integrity / confidentiality
+	// audit rules can watch it. arg2 carries flag bits (1 = private).
+	// Without a canary map it degenerates to a plain store.
+	BCanary
+	// BCanaryRetire validates and deregisters a canary: the calling frame
+	// asserts mem[arg0] still equals arg1 before releasing the word. A
+	// mismatch is queued as a caller-integrity violation, not a trap, so
+	// the auditor attributes it.
+	BCanaryRetire
 	NumBuiltins
 )
 
@@ -411,6 +422,7 @@ var builtinNames = map[Builtin]string{
 	BMemCopy: "memcpy", BMemSet: "memset",
 	BLibCall: "libcall", BLockedLibCall: "locked_libcall",
 	BShrink: "shrink", BHalt: "halt",
+	BCanary: "canary", BCanaryRetire: "canary_retire",
 }
 
 func (b Builtin) String() string {

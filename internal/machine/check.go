@@ -43,6 +43,13 @@ func (w *Worker) AtFrameTransition() bool {
 		// the frame's return-address slot is already zeroed while FP still
 		// addresses it.
 		return in.Rd == isa.FP && in.Imm == -2 && (in.Ra == isa.SP || in.Ra == isa.FP)
+	case isa.JmpReg:
+		// Epilogue "jmpreg lr": FP (and on the free path SP) already
+		// address the caller's frame while PC is still in the finished
+		// callee, so a stack walk keyed on descFor(PC) would pair the
+		// caller's FP with the callee's frame size. jmpreg lr is emitted
+		// only as an epilogue's final return jump.
+		return in.Ra == isa.LR
 	}
 	return false
 }

@@ -109,6 +109,12 @@ type Options struct {
 	// path is observationally identical; nothing in the production paths
 	// (core, sched, stserve) ever sets it.
 	NoFastPath bool
+	// Canary, when non-nil, arms the adversarial stack-safety harness: the
+	// canary/canary_retire builtins register per-frame canary words here and
+	// the invariant auditor enforces the caller-integrity and
+	// frame-confidentiality rules against the map (see canary.go). Nil keeps
+	// both builtins cheap no-op stores.
+	Canary *CanaryMap
 }
 
 // DefaultStackWords is the per-worker physical stack size when

@@ -541,6 +541,24 @@ func (w *Worker) runBuiltin(b isa.Builtin, callPC int64) (Event, bool) {
 	case isa.BShrink:
 		w.Shrink()
 		toLR()
+	case isa.BCanary:
+		addr, val, flags := arg(0), arg(1), arg(2)
+		if cm := m.Opts.Canary; cm != nil {
+			// Map mutations must replay in sequential oracle order on the
+			// speculative engines, or the taint state (and any faults it
+			// records) would differ across engines.
+			w.specForbid()
+			cm.register(w, addr, val, flags&1 != 0)
+		}
+		w.memStore(addr, val)
+		toLR()
+	case isa.BCanaryRetire:
+		addr, want := arg(0), arg(1)
+		if cm := m.Opts.Canary; cm != nil {
+			w.specForbid()
+			cm.retire(w, addr, want, w.memLoad(addr))
+		}
+		toLR()
 	case isa.BHalt:
 		w.PC = w.Regs[isa.LR]
 		return EvHalt, false

@@ -47,7 +47,12 @@ func Generate(rng *rand.Rand, maxNodes int) (*Node, int) {
 		}
 		return n
 	}
-	budget := maxNodes
+	// The root consumes one unit of the budget too — without this charge
+	// trees could exceed maxNodes by one.
+	budget := maxNodes - 1
+	if budget < 0 {
+		budget = 0
+	}
 	root := build(3+rng.Intn(3), &budget)
 	return root, int(id)
 }

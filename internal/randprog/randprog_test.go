@@ -1,0 +1,59 @@
+package randprog
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestGenerateBudget pins the exact node count per seed at maxNodes=24.
+// The counts document the budget accounting: the root is charged one unit
+// like every other node, so a tree can reach maxNodes but never exceed it
+// (seed 1 sits exactly at the cap). A budget change that silently grows or
+// shrinks generated trees shifts these numbers and fails here.
+func TestGenerateBudget(t *testing.T) {
+	cases := []struct {
+		seed int64
+		want int
+	}{
+		{seed: 1, want: 24},
+		{seed: 2, want: 1},
+		{seed: 3, want: 14},
+		{seed: 4, want: 12},
+		{seed: 5, want: 1},
+		{seed: 6, want: 11},
+	}
+	for _, c := range cases {
+		root, n := Generate(rand.New(rand.NewSource(c.seed)), 24)
+		if n != c.want {
+			t.Errorf("seed %d: %d nodes, want %d", c.seed, n, c.want)
+		}
+		if got := countNodes(root); got != n {
+			t.Errorf("seed %d: reported count %d != tree walk %d", c.seed, n, got)
+		}
+	}
+}
+
+// TestGenerateNeverExceedsBudget is the property the off-by-one broke:
+// no (seed, maxNodes) pair may produce more than maxNodes nodes.
+func TestGenerateNeverExceedsBudget(t *testing.T) {
+	for seed := int64(0); seed < 64; seed++ {
+		for _, max := range []int{1, 2, 3, 8, 24} {
+			rng := rand.New(rand.NewSource(seed))
+			root, n := Generate(rng, max)
+			if n > max {
+				t.Fatalf("seed %d maxNodes %d: generated %d nodes", seed, max, n)
+			}
+			if root == nil || n < 1 {
+				t.Fatalf("seed %d maxNodes %d: empty tree", seed, max)
+			}
+		}
+	}
+}
+
+func countNodes(n *Node) int {
+	total := 1
+	for _, c := range n.Children {
+		total += countNodes(c)
+	}
+	return total
+}
