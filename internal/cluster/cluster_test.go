@@ -358,10 +358,12 @@ func TestStealCompletesRemotely(t *testing.T) {
 	for attempt := 0; attempt < 30; attempt++ {
 		// Two concurrent jobs: with nothing queued a node's last running
 		// job is not surplus, so a lone job would never be offered. Two
-		// running jobs leave exactly one stealable.
+		// running jobs leave exactly one stealable. Paper-scale fib: the
+		// quick size finishes in well under a steal-probe period on a
+		// JIT-era interpreter, so the thief would never find it running.
 		reqs := [2]server.JobRequest{
-			{App: "fib", Workers: 4, Seed: uint64(100 + 2*attempt), NoCache: true},
-			{App: "fib", Workers: 4, Seed: uint64(101 + 2*attempt), NoCache: true},
+			{App: "fib", Full: true, Workers: 4, Seed: uint64(100 + 2*attempt), NoCache: true},
+			{App: "fib", Full: true, Workers: 4, Seed: uint64(101 + 2*attempt), NoCache: true},
 		}
 		var jobs [2]*server.Job
 		for i, req := range reqs {

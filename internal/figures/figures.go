@@ -38,6 +38,10 @@ type Opts struct {
 	// read-only and charges no virtual cycles, so every figure number is
 	// byte-identical with or without it; a violation fails the figure.
 	AuditEvery int64
+	// JIT enables the interpreter's trace JIT for each individual run (see
+	// core.Config.JIT). Virtual-cycle figure numbers are byte-identical
+	// either way; only host wall-clock changes.
+	JIT bool
 }
 
 // audit builds a fresh auditor per run (the auditor carries per-run pick
@@ -199,7 +203,7 @@ func UniprocessorWith(w io.Writer, sc Scale, opts Opts) ([]UniRow, error) {
 		if err != nil {
 			return err
 		}
-		seqRes, err := core.Run(seqW, core.Config{Mode: core.Sequential, Engine: opts.Engine, MaxWorkCycles: opts.MaxWorkCycles, Audit: opts.audit()})
+		seqRes, err := core.Run(seqW, core.Config{Mode: core.Sequential, Engine: opts.Engine, MaxWorkCycles: opts.MaxWorkCycles, Audit: opts.audit(), JIT: opts.JIT})
 		if err != nil {
 			return fmt.Errorf("%s/seq: %w", name, err)
 		}
@@ -207,7 +211,7 @@ func UniprocessorWith(w io.Writer, sc Scale, opts Opts) ([]UniRow, error) {
 		if err != nil {
 			return err
 		}
-		stRes, err := core.Run(stW, core.Config{Mode: core.StackThreads, Workers: 1, Engine: opts.Engine, MaxWorkCycles: opts.MaxWorkCycles, Audit: opts.audit()})
+		stRes, err := core.Run(stW, core.Config{Mode: core.StackThreads, Workers: 1, Engine: opts.Engine, MaxWorkCycles: opts.MaxWorkCycles, Audit: opts.audit(), JIT: opts.JIT})
 		if err != nil {
 			return fmt.Errorf("%s/st: %w", name, err)
 		}
@@ -215,7 +219,7 @@ func UniprocessorWith(w io.Writer, sc Scale, opts Opts) ([]UniRow, error) {
 		if err != nil {
 			return err
 		}
-		ckRes, err := core.Run(ckW, core.Config{Mode: core.Cilk, Workers: 1, Engine: opts.Engine, MaxWorkCycles: opts.MaxWorkCycles, Audit: opts.audit()})
+		ckRes, err := core.Run(ckW, core.Config{Mode: core.Cilk, Workers: 1, Engine: opts.Engine, MaxWorkCycles: opts.MaxWorkCycles, Audit: opts.audit(), JIT: opts.JIT})
 		if err != nil {
 			return fmt.Errorf("%s/cilk: %w", name, err)
 		}
@@ -280,7 +284,7 @@ func ScalingWith(w io.Writer, sc Scale, benches []string, opts Opts) ([]ScaleRow
 		if err != nil {
 			return err
 		}
-		stRes, err := core.Run(stW, core.Config{Mode: core.StackThreads, Workers: n, Seed: 1, Engine: opts.Engine, MaxWorkCycles: opts.MaxWorkCycles, Audit: opts.audit()})
+		stRes, err := core.Run(stW, core.Config{Mode: core.StackThreads, Workers: n, Seed: 1, Engine: opts.Engine, MaxWorkCycles: opts.MaxWorkCycles, Audit: opts.audit(), JIT: opts.JIT})
 		if err != nil {
 			return fmt.Errorf("%s/st/p=%d: %w", name, n, err)
 		}
@@ -288,7 +292,7 @@ func ScalingWith(w io.Writer, sc Scale, benches []string, opts Opts) ([]ScaleRow
 		if err != nil {
 			return err
 		}
-		ckRes, err := core.Run(ckW, core.Config{Mode: core.Cilk, Workers: n, Seed: 1, Engine: opts.Engine, MaxWorkCycles: opts.MaxWorkCycles, Audit: opts.audit()})
+		ckRes, err := core.Run(ckW, core.Config{Mode: core.Cilk, Workers: n, Seed: 1, Engine: opts.Engine, MaxWorkCycles: opts.MaxWorkCycles, Audit: opts.audit(), JIT: opts.JIT})
 		if err != nil {
 			return fmt.Errorf("%s/cilk/p=%d: %w", name, n, err)
 		}

@@ -256,3 +256,84 @@ func TestSpeculationFastPathCoherence(t *testing.T) {
 		t.Fatalf("return values diverged: %d vs %d", wSpec.Regs[isa.RV], wDirect.Regs[isa.RV])
 	}
 }
+
+// TestFastPathDegenerateBudgets pins Run's behavior at the budget edges
+// where the batch-entry comparison (deadline - runCostButLast) is most
+// likely to be off by one: a zero budget must return EvBudget with no
+// progress at all, a one-cycle budget must advance exactly like the
+// reference path, and a budget that lands the deadline exactly on a
+// straightline-run boundary must fire EvBudget on the identical
+// instruction with or without batching.
+func TestFastPathDegenerateBudgets(t *testing.T) {
+	finish := func(t *testing.T, mf, ms *Machine, wf, ws *Worker, run func(step int) int64) {
+		t.Helper()
+		for step := 0; ; step++ {
+			if step > 1_000_000 {
+				t.Fatal("runaway program")
+			}
+			b := run(step)
+			evF, evS := wf.Run(b), ws.Run(b)
+			if evF != evS {
+				t.Fatalf("step %d (budget %d): events diverged: fast=%v slow=%v", step, b, evF, evS)
+			}
+			diffWorker(t, "slice boundary", wf, ws)
+			switch evF {
+			case EvBudget, EvPoll:
+				continue
+			case EvHalt:
+				wordsF, wordsS := mf.Mem.Words(), ms.Mem.Words()
+				for a := range wordsF {
+					if wordsF[a] != wordsS[a] {
+						t.Fatalf("memory diverged at %d: fast=%d slow=%d", a, wordsF[a], wordsS[a])
+					}
+				}
+				return
+			default:
+				t.Fatalf("step %d: unexpected event %v (err=%v)", step, evF, wf.Err)
+			}
+		}
+	}
+
+	t.Run("zero", func(t *testing.T) {
+		prog := mixProgram(t)
+		_, wf := startWorker(t, prog, Options{})
+		_, ws := startWorker(t, prog, Options{NoFastPath: true})
+		for i := 0; i < 3; i++ {
+			pc, cycles, instrs := wf.PC, wf.Cycles, wf.Stats.Instrs
+			evF, evS := wf.Run(0), ws.Run(0)
+			if evF != EvBudget || evS != EvBudget {
+				t.Fatalf("Run(0): events fast=%v slow=%v, want EvBudget", evF, evS)
+			}
+			if wf.PC != pc || wf.Cycles != cycles || wf.Stats.Instrs != instrs {
+				t.Fatalf("Run(0) made progress: pc %d→%d cycles %d→%d", pc, wf.PC, cycles, wf.Cycles)
+			}
+			diffWorker(t, "after zero budget", wf, ws)
+		}
+	})
+
+	t.Run("one", func(t *testing.T) {
+		prog := mixProgram(t)
+		mf, wf := startWorker(t, prog, Options{})
+		ms, ws := startWorker(t, prog, Options{NoFastPath: true})
+		finish(t, mf, ms, wf, ws, func(int) int64 { return 1 })
+	})
+
+	t.Run("batch-boundary", func(t *testing.T) {
+		// At every slice, choose the budget from the *current* run's exact
+		// suffix cost so the deadline lands exactly at the run boundary,
+		// one cycle short of it, or one cycle past it in rotation.
+		prog := mixProgram(t)
+		mf, wf := startWorker(t, prog, Options{})
+		ms, ws := startWorker(t, prog, Options{NoFastPath: true})
+		finish(t, mf, ms, wf, ws, func(step int) int64 {
+			b := int64(1)
+			if pc := wf.PC; pc >= 0 && pc < int64(len(mf.dec)) && mf.dec[pc].runLen > 0 {
+				b = int64(mf.dec[pc].runCost) + int64(step%3-1)
+			}
+			if b <= 0 {
+				b = 1
+			}
+			return b
+		})
+	})
+}

@@ -51,17 +51,45 @@ type Memory struct {
 const Guard Addr = 16
 
 // New creates a memory with the given heap capacity in words.
-func New(heapWords int) *Memory {
+func New(heapWords int) *Memory { return NewReserved(heapWords, 0) }
+
+// NewReserved creates a memory with the given heap capacity and reserves
+// backing capacity for `extra` more words of future MapStack/MapWords
+// mappings. A caller that knows the final footprint up front (the heap plus
+// every worker's stack) gets a single zeroed allocation instead of a
+// reallocate-and-copy per mapping — the copies dominate per-run setup time
+// for megaword stacks.
+func NewReserved(heapWords int, extra Addr) *Memory {
 	if heapWords < 0 {
 		panic("mem: negative heap size")
 	}
+	if extra < 0 {
+		extra = 0
+	}
+	size := Guard + Addr(heapWords)
 	m := &Memory{
-		words:    make([]int64, Guard+Addr(heapWords)),
+		words:    make([]int64, size, size+extra),
 		heapLo:   Guard,
 		heapNext: Guard,
-		heapHi:   Guard + Addr(heapWords),
+		heapHi:   size,
 	}
 	return m
+}
+
+// Reserve grows the backing array's capacity so that at least `extra` more
+// mapped words fit without reallocating. Contents, length and addresses are
+// unchanged; a no-op when capacity already suffices.
+func (m *Memory) Reserve(extra Addr) {
+	if extra <= 0 {
+		return
+	}
+	need := len(m.words) + int(extra)
+	if need <= cap(m.words) {
+		return
+	}
+	nw := make([]int64, len(m.words), need)
+	copy(nw, m.words)
+	m.words = nw
 }
 
 // Size returns the total number of mapped words (including the guard).
@@ -127,7 +155,17 @@ func (m *Memory) MapStack(n Addr) Region {
 		panic("mem: MapStack: non-positive size")
 	}
 	lo := Addr(len(m.words))
-	m.words = append(m.words, make([]int64, n)...)
+	total := len(m.words) + int(n)
+	if total <= cap(m.words) {
+		// The spare capacity is zero: backing arrays only ever come from
+		// make (which zeroes the whole array up to its capacity) and the
+		// mapped length never shrinks, so nothing has written past len.
+		m.words = m.words[:total]
+	} else {
+		nw := make([]int64, total)
+		copy(nw, m.words)
+		m.words = nw
+	}
 	return Region{Lo: lo, Hi: lo + n}
 }
 

@@ -1,0 +1,60 @@
+package obs
+
+// Hotness is the execution-frequency feed behind the interpreter's trace
+// JIT: a flat per-pc counter array bumped every time the dispatch loop
+// arrives at a potential trace head, with a fixed compilation threshold.
+// It is deliberately host-side-only state — counts depend on quantum
+// boundaries and engine interleaving, so nothing derived from them may
+// enter a deterministic artifact; the JIT uses them purely to decide when
+// to spend host time compiling, never to change what executes.
+//
+// The type lives in obs (rather than machine) because it is the same kind
+// of instrument as the sampling profiler: a cheap observation channel over
+// pcs. Unlike the profiler it stays allocated per worker and is bumped
+// from the interpreter's own loop, so it must not allocate or lock on the
+// bump path.
+type Hotness struct {
+	threshold uint32
+	counts    []uint32
+}
+
+// NewHotness creates a feed for a program of n pcs. A pc becomes hot when
+// its count reaches threshold (minimum 1).
+func NewHotness(n int, threshold uint32) *Hotness {
+	if threshold == 0 {
+		threshold = 1
+	}
+	return &Hotness{threshold: threshold, counts: make([]uint32, n)}
+}
+
+// Bump increments pc's arrival count and reports whether the count just
+// reached the compilation threshold — true exactly once per pc, so the
+// caller can use it as the compile trigger without tracking its own "seen"
+// set. Counts saturate instead of wrapping.
+func (h *Hotness) Bump(pc int64) bool {
+	c := h.counts[pc]
+	if c == ^uint32(0) {
+		return false
+	}
+	c++
+	h.counts[pc] = c
+	return c == h.threshold
+}
+
+// Count returns pc's arrival count.
+func (h *Hotness) Count(pc int64) uint32 { return h.counts[pc] }
+
+// Threshold returns the compilation threshold.
+func (h *Hotness) Threshold() uint32 { return h.threshold }
+
+// Hot returns the pcs at or above the threshold, in ascending pc order
+// (tooling and tests; not used on the hot path).
+func (h *Hotness) Hot() []int64 {
+	var out []int64
+	for pc, c := range h.counts {
+		if c >= h.threshold {
+			out = append(out, int64(pc))
+		}
+	}
+	return out
+}

@@ -115,7 +115,19 @@ func (h *Histogram) Quantile(q float64) int64 {
 	if q >= 1 {
 		return h.max
 	}
-	rank := int64(q * float64(h.count-1)) // 0-based nearest rank
+	// Ceiling nearest-rank: the smallest 0-based rank r such that
+	// (r+1)/count >= q. The floor convention (q*(count-1)) collapses
+	// upper quantiles of sparse samples onto the lowest ranks — p99 of
+	// two observations would return the *minimum* — while the ceiling
+	// convention returns the value that at least a q fraction of
+	// observations sit at or below.
+	rank := int64(math.Ceil(q*float64(h.count))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= h.count {
+		rank = h.count - 1
+	}
 	var cum int64
 	for i, n := range h.buckets {
 		if n == 0 {

@@ -1,17 +1,25 @@
 package obs
 
 import (
+	"math"
 	"sort"
 	"testing"
 )
 
-// exactQuantile is the reference: nearest-rank over the raw observations,
-// the same rule stload's hand-rolled percentile code used.
+// exactQuantile is the reference: ceiling nearest-rank over the raw
+// observations — the smallest rank r with (r+1)/n >= q.
 func exactQuantile(sorted []int64, q float64) int64 {
 	if len(sorted) == 0 {
 		return 0
 	}
-	return sorted[int(q*float64(len(sorted)-1))]
+	r := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if r < 0 {
+		r = 0
+	}
+	if r >= len(sorted) {
+		r = len(sorted) - 1
+	}
+	return sorted[r]
 }
 
 func TestHistogramQuantileTable(t *testing.T) {
@@ -31,6 +39,14 @@ func TestHistogramQuantileTable(t *testing.T) {
 		{"zero-and-neg", []int64{-4, -2, 0}, 0, -4},
 		{"zero-and-neg-max", []int64{-4, -2, 0}, 1, 0},
 		{"powers", []int64{1, 2, 4, 8, 16}, 1, 16},
+		// Sparse samples: upper quantiles must land on the upper
+		// observation, not collapse to rank 0 (the floor-rank convention
+		// returned the *minimum* — 0 here — for p99 of two samples).
+		{"sparse-p99", []int64{0, 1024}, 0.99, 1024},
+		{"sparse-p90", []int64{0, 1024}, 0.90, 1024},
+		{"sparse-p50-two", []int64{3, 9}, 0.5, 3},
+		{"sparse-p99-two", []int64{3, 8}, 0.99, 8},
+		{"three-p99", []int64{1, 2, 256}, 0.99, 256},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -56,6 +56,14 @@ type Contention struct {
 	// rounds, successful or not.
 	HostSteals        atomic.Int64
 	HostStealAttempts atomic.Int64
+
+	// JITCompiled counts traces the per-worker trace JITs compiled and
+	// JITDeopts the budget deoptimizations out of compiled traces
+	// (machine/jit.go), folded in from every worker at run end. Like the
+	// rest of the struct these are host-side only: which traces turn hot
+	// first depends on quantum interleaving, never on virtual state.
+	JITCompiled atomic.Int64
+	JITDeopts   atomic.Int64
 }
 
 // ContentionSnapshot is the JSON form of a Contention read.
@@ -75,6 +83,9 @@ type ContentionSnapshot struct {
 	ChainDiscards     int64 `json:"chain_discards"`
 	HostSteals        int64 `json:"host_steals"`
 	HostStealAttempts int64 `json:"host_steal_attempts"`
+
+	JITCompiled int64 `json:"jit_compiled"`
+	JITDeopts   int64 `json:"jit_deopts"`
 }
 
 // Snapshot reads the counters. The read is per-field atomic, not a
@@ -99,5 +110,8 @@ func (c *Contention) Snapshot() ContentionSnapshot {
 		ChainDiscards:     c.ChainDiscards.Load(),
 		HostSteals:        c.HostSteals.Load(),
 		HostStealAttempts: c.HostStealAttempts.Load(),
+
+		JITCompiled: c.JITCompiled.Load(),
+		JITDeopts:   c.JITDeopts.Load(),
 	}
 }

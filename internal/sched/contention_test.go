@@ -70,3 +70,40 @@ func TestContentionNilIsDisabled(t *testing.T) {
 		t.Fatalf("nil snapshot = %+v, want zero", s)
 	}
 }
+
+// TestContentionCountersTrackJIT: a JIT-enabled run with a Contention sink
+// attached reports the traces its workers compiled — and attaching the sink
+// (or the JIT itself) never changes the run's bytes.
+func TestContentionCountersTrackJIT(t *testing.T) {
+	w := apps.Fib(14, apps.ST)
+	prog, err := w.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(jit bool, cont *Contention) *Result {
+		m := machine.New(prog, mem.New(1<<20), isa.SPARC(), 2, machine.Options{Seed: 1, JIT: jit})
+		res, err := Run(m, w.Entry, w.Args, Config{
+			Mode: ModeST, Seed: 1, Contention: cont,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	cont := &Contention{}
+	res := run(true, cont)
+	snap := cont.Snapshot()
+	if snap.JITCompiled == 0 {
+		t.Error("JIT-enabled fib(14) compiled no traces")
+	}
+
+	plain := &Contention{}
+	bare := run(false, plain)
+	if s := plain.Snapshot(); s.JITCompiled != 0 || s.JITDeopts != 0 {
+		t.Errorf("JIT-disabled run reported JIT activity: %+v", s)
+	}
+	if bare.RV != res.RV || bare.Time != res.Time || bare.WorkCycles != res.WorkCycles || bare.Picks != res.Picks {
+		t.Errorf("JIT changed the run's bytes: jit=%+v plain=%+v", res, bare)
+	}
+}

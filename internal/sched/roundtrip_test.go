@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"repro/internal/apps"
@@ -264,5 +265,112 @@ func TestPeriodicCheckpointResume(t *testing.T) {
 		got := resumeFrom(t, mk, mode, workers, seed, rtEngines[i%3], enc)
 		diffCompare(t, fmt.Sprintf("resume from checkpoint %d/%d", i+1, len(stored)),
 			rtEngines[i%3], undisturbed, got)
+	}
+}
+
+// TestRoundTripJITCross extends the round-trip property across the trace
+// JIT: a run captured mid-flight with the JIT on must resume byte-identically
+// with the JIT off, and vice versa. The configs here deliberately omit the
+// observability collector — per-worker obs hooks gate the JIT off entirely
+// (DESIGN.md §19), so the stock harness would never execute a compiled
+// trace — and compare Result, the sorted event log and program output,
+// which is everything an obs-free run produces. This is what lets cluster
+// nodes with different ST_JIT settings exchange checkpoints freely.
+func TestRoundTripJITCross(t *testing.T) {
+	mk := func() *apps.Workload { return apps.Fib(12, apps.ST) }
+	const mode, workers, seed = core.StackThreads, 2, uint64(1)
+
+	mkCfg := func(jit bool, events *sched.EventLog, out *bytes.Buffer) core.Config {
+		return core.Config{
+			Mode: mode, Workers: workers, Seed: seed,
+			Engine: core.EngineSequential, HostProcs: 4,
+			CheckInvariants: true, SegmentedStacks: true,
+			JIT: jit, Events: events, Out: out,
+		}
+	}
+
+	type artifacts struct {
+		res    *core.Result
+		events []sched.TraceEvent
+		out    []byte
+	}
+	runWhole := func(jit bool) artifacts {
+		var events sched.EventLog
+		var out bytes.Buffer
+		res, err := core.Run(mk(), mkCfg(jit, &events, &out))
+		if err != nil {
+			t.Fatalf("jit=%t: %v", jit, err)
+		}
+		return artifacts{res: res, events: events.Sorted(), out: out.Bytes()}
+	}
+	capture := func(jit bool, pick int64) []byte {
+		var events sched.EventLog
+		var out bytes.Buffer
+		cfg := mkCfg(jit, &events, &out)
+		cfg.Checkpoint = &sched.Checkpoint{YieldAtPick: pick}
+		_, err := core.Run(mk(), cfg)
+		var ye *sched.YieldError
+		if !errors.As(err, &ye) {
+			t.Fatalf("capture jit=%t pick=%d: expected a yield, got %v", jit, pick, err)
+		}
+		enc, err := snapshot.Encode(&snapshot.Snapshot{
+			Key: "jit-rt", TraceID: "jit-rt",
+			Mach: ye.Boundary.Mach, Sched: ye.Boundary.Sched, Fault: ye.Boundary.Fault,
+			Events: events.Events, Out: bytes.Clone(out.Bytes()),
+		})
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		return enc
+	}
+	resume := func(jit bool, enc []byte) artifacts {
+		snap, err := snapshot.Decode(enc)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		events := sched.EventLog{Events: snap.Events}
+		var out bytes.Buffer
+		out.Write(snap.Out)
+		cfg := mkCfg(jit, &events, &out)
+		res, err := core.Resume(mk(), cfg, &sched.Boundary{Mach: snap.Mach, Sched: snap.Sched, Fault: snap.Fault})
+		if err != nil {
+			t.Fatalf("resume jit=%t: %v", jit, err)
+		}
+		return artifacts{res: res, events: events.Sorted(), out: out.Bytes()}
+	}
+	compare := func(ctx string, want, got artifacts) {
+		t.Helper()
+		if !reflect.DeepEqual(want.res, got.res) {
+			t.Fatalf("%s: Result diverged:\nwant: %+v\ngot:  %+v", ctx, want.res, got.res)
+		}
+		if !reflect.DeepEqual(want.events, got.events) {
+			t.Fatalf("%s: event log diverged (%d vs %d events)", ctx, len(want.events), len(got.events))
+		}
+		if !bytes.Equal(want.out, got.out) {
+			t.Fatalf("%s: program output diverged:\nwant: %q\ngot:  %q", ctx, want.out, got.out)
+		}
+	}
+
+	undisturbed := runWhole(false)
+	compare("whole run jit=on vs off", undisturbed, runWhole(true))
+	picks := undisturbed.res.Picks
+	if picks < 8 {
+		t.Fatalf("run too small to cut: %d picks", picks)
+	}
+	// Cut points spread across the run, including late ones where traces
+	// are certainly hot and compiled on the capturing side.
+	for _, pick := range []int64{2, picks / 4, picks / 2, picks - 1} {
+		for _, leg := range []struct {
+			name           string
+			capJIT, resJIT bool
+		}{
+			{"capture-jit/resume-plain", true, false},
+			{"capture-plain/resume-jit", false, true},
+			{"capture-jit/resume-jit", true, true},
+		} {
+			enc := capture(leg.capJIT, pick)
+			got := resume(leg.resJIT, enc)
+			compare(fmt.Sprintf("%s pick=%d/%d", leg.name, pick, picks), undisturbed, got)
+		}
 	}
 }
